@@ -1,0 +1,43 @@
+"""Helpers shared by the benchmark harnesses (not collected as tests)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.federation import FederationResult
+from repro.metrics.collectors import resource_processing_table
+from repro.metrics.report import render_table
+
+PROCESSING_HEADERS = [
+    "Resource",
+    "Utilisation %",
+    "Total jobs",
+    "Accepted %",
+    "Rejected %",
+    "Local",
+    "Migrated",
+    "Remote processed",
+]
+
+
+def processing_rows(result: FederationResult) -> List[List[object]]:
+    """Rows of the Table 2/3 style workload-processing table."""
+    return [
+        [
+            row.name,
+            100.0 * row.utilisation,
+            row.total_jobs,
+            row.accepted_pct,
+            row.rejected_pct,
+            row.processed_locally,
+            row.migrated_to_federation,
+            row.remote_jobs_processed,
+        ]
+        for row in resource_processing_table(result)
+    ]
+
+
+def print_processing_table(result: FederationResult, title: str) -> None:
+    """Print a Table 2/3 style table for a federation result."""
+    print()
+    print(render_table(PROCESSING_HEADERS, processing_rows(result), title=title))

@@ -1,0 +1,62 @@
+"""Ablation A — directory-ranked candidate selection vs broadcast superscheduling.
+
+The Grid-Federation iterates over directory-ranked candidates and negotiates
+one at a time; the NASA-superscheduler-style baseline broadcasts the enquiry
+to every other GFA.  On identical workloads the broadcast baseline must spend
+many more messages per migrated job — the scalability argument the paper makes
+qualitatively in its related-work comparison.
+"""
+
+from __future__ import annotations
+
+from _shared import print_processing_table
+
+from repro.baselines import run_broadcast_federation
+from repro.core import FederationConfig, SharingMode, run_federation
+from repro.experiments.common import default_specs, default_workload
+from repro.metrics.report import render_table
+
+
+def test_bench_ablation_broadcast(benchmark):
+    specs = default_specs()
+    config = FederationConfig(mode=SharingMode.ECONOMY, oft_fraction=0.3, seed=42)
+
+    ranked = run_federation(specs, default_workload(seed=42, thin=4), config)
+    broadcast = benchmark.pedantic(
+        lambda: run_broadcast_federation(specs, default_workload(seed=42, thin=4), config),
+        rounds=1,
+        iterations=1,
+    )
+
+    def migrated(result):
+        return sum(o.stats.migrated_out for o in result.resources.values())
+
+    rows = []
+    for label, result in (("Grid-Federation (ranked)", ranked), ("Broadcast (sender-initiated)", broadcast)):
+        moved = migrated(result)
+        rows.append(
+            [
+                label,
+                result.message_log.total_messages,
+                moved,
+                result.message_log.total_messages / moved if moved else 0.0,
+                len(result.rejected_jobs()),
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["Superscheduler", "Total messages", "Migrated jobs", "Messages per migrated job", "Rejected"],
+            rows,
+            title="Ablation A — message cost of candidate selection",
+        )
+    )
+    print_processing_table(broadcast, "Broadcast baseline — workload processing statistics")
+
+    ranked_per_job = ranked.message_log.total_messages / max(migrated(ranked), 1)
+    broadcast_per_job = broadcast.message_log.total_messages / max(migrated(broadcast), 1)
+    assert broadcast_per_job > ranked_per_job
+    benchmark.extra_info["messages_per_migrated_job"] = {
+        "ranked": round(ranked_per_job, 2),
+        "broadcast": round(broadcast_per_job, 2),
+    }

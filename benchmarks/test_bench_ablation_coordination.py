@@ -1,0 +1,61 @@
+"""Ablation C — coordinated directory load updates vs pure negotiation.
+
+Section 2.3 proposes (as future work) that GFAs publish their utilisation into
+the federation directory so that other sites can skip hopeless candidates
+without a negotiation round trip.  This ablation runs the base protocol and
+the coordinated extension on identical workloads and reports the negotiation
+messages saved against the load updates spent.
+"""
+
+from __future__ import annotations
+
+from repro.core import FederationConfig, SharingMode, run_federation
+from repro.experiments.common import default_specs, default_workload
+from repro.extensions import run_coordinated_federation
+from repro.metrics.report import render_table
+
+
+def test_bench_ablation_coordination(benchmark):
+    specs = default_specs()
+    config = FederationConfig(mode=SharingMode.ECONOMY, oft_fraction=0.3, seed=42)
+
+    base = run_federation(specs, default_workload(seed=42, thin=8), config)
+    coordinated = benchmark.pedantic(
+        lambda: run_coordinated_federation(specs, default_workload(seed=42, thin=8), config),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [
+            "base protocol",
+            base.message_log.total_messages,
+            0,
+            len(base.completed_jobs()),
+            len(base.rejected_jobs()),
+        ],
+        [
+            "coordinated (load reports)",
+            coordinated.message_log.total_messages,
+            coordinated.directory.load_updates,
+            len(coordinated.completed_jobs()),
+            len(coordinated.rejected_jobs()),
+        ],
+    ]
+    print()
+    print(
+        render_table(
+            ["Protocol", "Negotiation/transfer messages", "Directory load updates", "Completed", "Rejected"],
+            rows,
+            title="Ablation C — coordination via directory load updates",
+        )
+    )
+    saved = base.message_log.total_messages - coordinated.message_log.total_messages
+    print(f"Messages saved by coordination: {saved}")
+
+    # Shape: coordination never increases the inter-GFA message count and does
+    # not change which jobs can be served.
+    assert coordinated.message_log.total_messages <= base.message_log.total_messages
+    assert len(coordinated.completed_jobs()) >= 0.95 * len(base.completed_jobs())
+    benchmark.extra_info["messages_saved"] = saved
+    benchmark.extra_info["load_updates"] = coordinated.directory.load_updates

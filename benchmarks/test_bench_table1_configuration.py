@@ -1,0 +1,58 @@
+"""Table 1 — workload and resource configuration.
+
+Regenerates the federation configuration: resource capacities, MIPS ratings,
+bandwidths, the Eq. 5-6 quotes, and the calibrated two-day job counts.  The
+benchmark times the construction of the specs and the synthetic workload
+(the input-generation cost of every other experiment).
+"""
+
+from __future__ import annotations
+
+from repro.economy.pricing import StaticPricingPolicy
+from repro.metrics.report import render_table
+from repro.sim import RandomStreams
+from repro.workload.archive import ARCHIVE_RESOURCES, build_federation_specs, build_workload
+
+
+def test_bench_table1_configuration(benchmark):
+    def build():
+        specs = build_federation_specs()
+        workload = build_workload(RandomStreams(42))
+        return specs, workload
+
+    specs, workload = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    policy = StaticPricingPolicy()
+    headers = [
+        "Index",
+        "Resource",
+        "Trace date",
+        "Processors",
+        "MIPS",
+        "Full-trace jobs",
+        "Quote (Table 1)",
+        "Quote (Eq. 5-6)",
+        "NIC bandwidth Gb/s",
+        "Two-day jobs",
+    ]
+    rows = [
+        [
+            r.index,
+            r.name,
+            r.trace_period,
+            r.processors,
+            r.mips,
+            r.full_trace_jobs,
+            r.quote,
+            policy.price_for(r.mips),
+            r.bandwidth_gbps,
+            len(workload[r.name]),
+        ]
+        for r in ARCHIVE_RESOURCES
+    ]
+    print()
+    print(render_table(headers, rows, title="Table 1 — workload and resource configuration"))
+
+    assert len(specs) == 8
+    assert all(len(workload[r.name]) == r.two_day_jobs for r in ARCHIVE_RESOURCES)
+    benchmark.extra_info["total_two_day_jobs"] = sum(r.two_day_jobs for r in ARCHIVE_RESOURCES)

@@ -1,0 +1,11 @@
+"""Legacy setuptools entry point.
+
+All project metadata lives in ``pyproject.toml`` ([project] table); this file
+exists only so that ``pip install -e .`` can use the legacy editable-install
+path in offline environments that lack the ``wheel`` package (required by the
+PEP 660 editable build hooks of older setuptools releases).
+"""
+
+from setuptools import setup
+
+setup()

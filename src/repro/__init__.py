@@ -1,0 +1,74 @@
+"""Grid-Federation: cooperative and incentive-based coupling of distributed clusters.
+
+A from-scratch Python reproduction of Ranjan, Harwood and Buyya's
+Grid-Federation system (IEEE Cluster 2005): a decentralised, computational
+economy based superscheduler that couples autonomous clusters through
+per-cluster Grid Federation Agents, a shared P2P quote directory and a
+deadline-and-budget-constrained scheduling algorithm.
+
+Quick start::
+
+    from repro import (
+        FederationConfig, SharingMode, run_federation,
+        build_federation_specs, build_workload, RandomStreams,
+    )
+
+    specs = build_federation_specs()
+    workload = build_workload(RandomStreams(42))
+    result = run_federation(specs, workload, FederationConfig(mode=SharingMode.ECONOMY))
+    print(result.total_incentive(), len(result.completed_jobs()))
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core import (
+    Federation,
+    FederationConfig,
+    FederationResult,
+    GridFederationAgent,
+    MessageLog,
+    MessageType,
+    SharingMode,
+    run_federation,
+)
+from repro.cluster import ResourceSpec, SpaceSharedLRMS, SchedulingPolicy
+from repro.economy import GridBank, StaticPricingPolicy, DemandDrivenPricingPolicy
+from repro.p2p import FederationDirectory, RankCriterion
+from repro.sim import RandomStreams, Simulator
+from repro.workload import (
+    Job,
+    JobStatus,
+    QoSStrategy,
+    build_federation_specs,
+    build_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Federation",
+    "FederationConfig",
+    "FederationResult",
+    "GridFederationAgent",
+    "MessageLog",
+    "MessageType",
+    "SharingMode",
+    "run_federation",
+    "ResourceSpec",
+    "SpaceSharedLRMS",
+    "SchedulingPolicy",
+    "GridBank",
+    "StaticPricingPolicy",
+    "DemandDrivenPricingPolicy",
+    "FederationDirectory",
+    "RankCriterion",
+    "RandomStreams",
+    "Simulator",
+    "Job",
+    "JobStatus",
+    "QoSStrategy",
+    "build_federation_specs",
+    "build_workload",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Related superscheduling systems (Table 4 of the paper).
+
+The paper closes its related-work discussion with a qualitative comparison of
+ten systems along three axes: underlying network model, scheduling parameters
+and scheduling mechanism.  The catalogue below reproduces that table verbatim
+so the Table 4 bench can print it alongside the quantitative results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class RelatedSystem:
+    """One row of Table 4."""
+
+    index: int
+    name: str
+    network_model: str
+    scheduling_parameters: str
+    scheduling_mechanism: str
+
+
+RELATED_SYSTEMS: List[RelatedSystem] = [
+    RelatedSystem(1, "NASA-Superscheduler", "Random", "System-centric", "Partially coordinated"),
+    RelatedSystem(2, "Condor-Flock P2P", "P2P (Pastry)", "System-centric", "Partially coordinated"),
+    RelatedSystem(3, "Grid-Federation", "P2P (Decentralized directory)", "User-centric", "Coordinated"),
+    RelatedSystem(4, "Legion-Federation", "Random", "System-centric", "Coordinated"),
+    RelatedSystem(5, "Nimrod-G", "Centralized", "User-centric", "Non-coordinated"),
+    RelatedSystem(6, "Condor-G", "Centralized", "System-centric", "Non-coordinated"),
+    RelatedSystem(7, "Our-Grid", "P2P", "System-centric", "Coordinated"),
+    RelatedSystem(8, "Tycoon", "Centralized", "User-centric", "Non-coordinated"),
+    RelatedSystem(9, "Bellagio", "Centralized", "User-centric", "Coordinated"),
+    RelatedSystem(10, "Mosix-Grid", "Hierarchical", "System-centric", "Coordinated"),
+]
+
+
+def related_systems_rows() -> Tuple[List[str], List[List[str]]]:
+    """Headers and rows of Table 4, ready for ``render_table``."""
+    headers = ["Index", "System Name", "Network Model", "Scheduling Parameters", "Scheduling Mechanism"]
+    rows = [
+        [str(s.index), s.name, s.network_model, s.scheduling_parameters, s.scheduling_mechanism]
+        for s in RELATED_SYSTEMS
+    ]
+    return headers, rows

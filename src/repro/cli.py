@@ -1,0 +1,198 @@
+"""``gridfed`` command-line interface.
+
+Runs any of the paper's experiments from the shell and prints the
+corresponding table / figure data::
+
+    gridfed table2                 # independent resources (Experiment 1)
+    gridfed table3                 # federation without economy (Experiment 2)
+    gridfed figure3 --profiles 0 30 70 100
+    gridfed figure9 --thin 3
+    gridfed figure10 --sizes 10 20 --profiles 0 100 --thin 5
+    gridfed table4                 # related-systems comparison
+
+``--thin N`` keeps every N-th job and makes exploratory runs fast; the
+EXPERIMENTS.md record was produced with ``--thin 1`` (the default).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines.catalogue import related_systems_rows
+from repro.experiments import (
+    DEFAULT_PROFILES,
+    run_experiment_1,
+    run_experiment_2,
+    run_experiment_3,
+    run_experiment_5,
+)
+from repro.experiments.exp4_messages import message_complexity_rows
+from repro.experiments.exp5_scalability import scalability_rows
+from repro.metrics.collectors import (
+    incentive_by_resource,
+    remote_jobs_serviced,
+    resource_processing_table,
+    user_qos_summary,
+)
+from repro.metrics.report import render_table
+from repro.workload.archive import ARCHIVE_RESOURCES
+
+
+def _processing_rows(result):
+    rows = []
+    for row in resource_processing_table(result):
+        rows.append(
+            [
+                row.name,
+                100.0 * row.utilisation,
+                row.total_jobs,
+                row.accepted_pct,
+                row.rejected_pct,
+                row.processed_locally,
+                row.migrated_to_federation,
+                row.remote_jobs_processed,
+            ]
+        )
+    return rows
+
+
+_PROCESSING_HEADERS = [
+    "Resource",
+    "Utilisation %",
+    "Total jobs",
+    "Accepted %",
+    "Rejected %",
+    "Local",
+    "Migrated",
+    "Remote processed",
+]
+
+
+def cmd_table1(_args) -> str:
+    headers = ["Index", "Resource", "Processors", "MIPS", "Quote", "Bandwidth Gb/s", "Two-day jobs"]
+    rows = [
+        [r.index, r.name, r.processors, r.mips, r.quote, r.bandwidth_gbps, r.two_day_jobs]
+        for r in ARCHIVE_RESOURCES
+    ]
+    return render_table(headers, rows, title="Table 1 — workload and resource configuration")
+
+
+def cmd_table2(args) -> str:
+    result = run_experiment_1(seed=args.seed, thin=args.thin)
+    return render_table(
+        _PROCESSING_HEADERS,
+        _processing_rows(result),
+        title="Table 2 — workload processing statistics (without federation)",
+    )
+
+
+def cmd_table3(args) -> str:
+    result = run_experiment_2(seed=args.seed, thin=args.thin)
+    return render_table(
+        _PROCESSING_HEADERS,
+        _processing_rows(result),
+        title="Table 3 — workload processing statistics (with federation)",
+    )
+
+
+def cmd_table4(_args) -> str:
+    headers, rows = related_systems_rows()
+    return render_table(headers, rows, title="Table 4 — superscheduling technique comparison")
+
+
+def cmd_figure3(args) -> str:
+    sweep = run_experiment_3(profiles=args.profiles, seed=args.seed, thin=args.thin)
+    headers = ["OFT %", "Resource", "Incentive (Grid $)", "Remote jobs serviced"]
+    rows = []
+    for oft_pct, result in sweep:
+        incentives = incentive_by_resource(result)
+        remote = remote_jobs_serviced(result)
+        for name in result.resource_names():
+            rows.append([oft_pct, name, incentives[name], remote[name]])
+    return render_table(headers, rows, title="Figure 3 — resource owner perspective")
+
+
+def cmd_figure7(args) -> str:
+    sweep = run_experiment_3(profiles=args.profiles, seed=args.seed, thin=args.thin)
+    headers = ["OFT %", "Resource", "Avg response (s)", "Avg budget (Grid $)", "Jobs"]
+    rows = []
+    for oft_pct, result in sweep:
+        for summary in user_qos_summary(result, include_rejected=args.include_rejected):
+            rows.append(
+                [oft_pct, summary.name, summary.avg_response_time, summary.avg_budget_spent, summary.jobs_counted]
+            )
+    title = "Figure 8" if args.include_rejected else "Figure 7"
+    return render_table(headers, rows, title=f"{title} — federation user perspective")
+
+
+def cmd_figure9(args) -> str:
+    sweep = run_experiment_3(profiles=args.profiles, seed=args.seed, thin=args.thin)
+    headers, rows, totals = message_complexity_rows(sweep)
+    table = render_table(headers, rows, title="Figure 9 — remote/local message complexity")
+    total_rows = [[oft, count] for oft, count in sorted(totals.items())]
+    table += "\n" + render_table(["OFT %", "Total messages"], total_rows, title="Figure 9c — total messages")
+    return table
+
+
+def cmd_figure10(args) -> str:
+    points = run_experiment_5(
+        system_sizes=args.sizes, profiles=args.profiles, seed=args.seed, thin=args.thin
+    )
+    headers, rows = scalability_rows(points)
+    return render_table(headers, rows, title="Figures 10 & 11 — message complexity vs system size")
+
+
+_COMMANDS = {
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "table3": cmd_table3,
+    "table4": cmd_table4,
+    "figure3": cmd_figure3,
+    "figure7": cmd_figure7,
+    "figure9": cmd_figure9,
+    "figure10": cmd_figure10,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gridfed",
+        description="Reproduce the Grid-Federation (Cluster 2005) tables and figures.",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS), help="table or figure to regenerate")
+    parser.add_argument("--seed", type=int, default=42, help="workload / simulation seed")
+    parser.add_argument("--thin", type=int, default=1, help="keep every N-th job (1 = full workload)")
+    parser.add_argument(
+        "--profiles",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_PROFILES),
+        help="OFT percentages for the economy sweeps",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[10, 20, 30, 40, 50],
+        help="system sizes for the scalability experiment",
+    )
+    parser.add_argument(
+        "--include-rejected",
+        action="store_true",
+        help="account rejected jobs at their origin (Figure 8 convention)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``gridfed`` console script."""
+    args = build_parser().parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    sys.stdout.write(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

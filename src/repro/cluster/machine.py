@@ -1,0 +1,107 @@
+"""Machine / node-pool model.
+
+The paper defines a cluster as a collection of homogeneous machines with a
+single system image.  The LRMS in :mod:`repro.cluster.lrms` only needs a count
+of free processors, but allocating *specific* node identifiers makes the
+substrate more faithful (and lets tests assert that no node is ever
+double-booked).  :class:`NodePool` provides that allocation layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+
+class AllocationError(RuntimeError):
+    """Raised when nodes are over-allocated or released incorrectly."""
+
+
+class NodePool:
+    """Tracks which nodes of a homogeneous cluster are allocated to which job.
+
+    Parameters
+    ----------
+    capacity:
+        Total number of nodes (processors) in the cluster.
+
+    Notes
+    -----
+    Node identifiers are integers ``0 .. capacity-1``.  Allocation hands out
+    the lowest-numbered free nodes, which keeps behaviour deterministic.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise AllocationError(f"capacity must be at least 1, got {capacity}")
+        self._capacity = capacity
+        self._free: List[int] = list(range(capacity))
+        self._allocations: Dict[int, FrozenSet[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        """Total number of nodes."""
+        return self._capacity
+
+    @property
+    def free_count(self) -> int:
+        """Number of currently unallocated nodes."""
+        return len(self._free)
+
+    @property
+    def busy_count(self) -> int:
+        """Number of currently allocated nodes."""
+        return self._capacity - len(self._free)
+
+    @property
+    def utilisation(self) -> float:
+        """Instantaneous fraction of nodes allocated."""
+        return self.busy_count / self._capacity
+
+    def allocation_of(self, job_id: int) -> FrozenSet[int]:
+        """Return the nodes currently held by ``job_id`` (empty set if none)."""
+        return self._allocations.get(job_id, frozenset())
+
+    def allocated_jobs(self) -> Set[int]:
+        """Return the set of job ids currently holding nodes."""
+        return set(self._allocations)
+
+    # ------------------------------------------------------------------ #
+    # Allocation / release
+    # ------------------------------------------------------------------ #
+    def allocate(self, job_id: int, count: int) -> FrozenSet[int]:
+        """Allocate ``count`` nodes to ``job_id``.
+
+        Raises
+        ------
+        AllocationError
+            If there are not enough free nodes, the count is invalid, or the
+            job already holds an allocation.
+        """
+        if count < 1:
+            raise AllocationError(f"must allocate at least one node, got {count}")
+        if job_id in self._allocations:
+            raise AllocationError(f"job {job_id} already holds an allocation")
+        if count > len(self._free):
+            raise AllocationError(
+                f"job {job_id} requested {count} nodes but only {len(self._free)} are free"
+            )
+        nodes = frozenset(self._free[:count])
+        del self._free[:count]
+        self._allocations[job_id] = nodes
+        return nodes
+
+    def release(self, job_id: int) -> FrozenSet[int]:
+        """Release all nodes held by ``job_id`` and return them."""
+        try:
+            nodes = self._allocations.pop(job_id)
+        except KeyError:
+            raise AllocationError(f"job {job_id} holds no allocation") from None
+        self._free.extend(sorted(nodes))
+        self._free.sort()
+        return nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"NodePool(capacity={self._capacity}, busy={self.busy_count})"

@@ -1,0 +1,185 @@
+"""Processor-availability profile.
+
+The LRMS must answer, for admission control and for backfilling, the question
+*"if I accepted this job now, when would it finish?"*.  The standard data
+structure for this is an availability profile: a step function of the number
+of free processors over future time, obtained from the expected completion
+times of running jobs and from reservations made for queued jobs.
+
+:class:`AvailabilityProfile` stores the step function as two parallel lists —
+breakpoint times and the number of free processors from that breakpoint until
+the next one (the last entry extends to infinity).  Operations:
+
+* :meth:`earliest_start` — earliest time at or after a lower bound at which
+  ``procs`` processors are simultaneously free for ``duration`` seconds;
+* :meth:`reserve` — subtract ``procs`` processors over an interval.
+
+Both operations are O(number of breakpoints); profiles in this simulation stay
+small (tens of entries) so no cleverer structure is warranted (per the HPC
+guide: measure before optimising).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Tuple
+
+
+class ProfileError(RuntimeError):
+    """Raised on invalid profile operations (over-reservation, bad arguments)."""
+
+
+class AvailabilityProfile:
+    """Step function of free processors over time.
+
+    Parameters
+    ----------
+    capacity:
+        Total number of processors of the cluster.
+    start_time:
+        Time from which the profile is defined (usually "now").
+    """
+
+    def __init__(self, capacity: int, start_time: float = 0.0):
+        if capacity < 1:
+            raise ProfileError(f"capacity must be positive, got {capacity}")
+        if not math.isfinite(start_time):
+            raise ProfileError("start_time must be finite")
+        self._capacity = capacity
+        self._times: List[float] = [float(start_time)]
+        self._avail: List[int] = [capacity]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        """Total processor count of the profile."""
+        return self._capacity
+
+    @property
+    def start_time(self) -> float:
+        """First time instant covered by the profile."""
+        return self._times[0]
+
+    def free_at(self, time: float) -> int:
+        """Number of free processors at ``time``."""
+        if time < self._times[0]:
+            raise ProfileError(f"time {time} precedes profile start {self._times[0]}")
+        idx = self._segment_index(time)
+        return self._avail[idx]
+
+    def segments(self) -> List[Tuple[float, float, int]]:
+        """Return the profile as ``(start, end, free)`` tuples; last end is ``inf``."""
+        out = []
+        for i, (t, a) in enumerate(zip(self._times, self._avail)):
+            end = self._times[i + 1] if i + 1 < len(self._times) else math.inf
+            out.append((t, end, a))
+        return out
+
+    def min_free(self, start: float, end: float) -> int:
+        """Minimum number of free processors over ``[start, end)``."""
+        if end <= start:
+            raise ProfileError("interval must have positive length")
+        i = self._segment_index(start)
+        lowest = self._avail[i]
+        i += 1
+        while i < len(self._times) and self._times[i] < end:
+            lowest = min(lowest, self._avail[i])
+            i += 1
+        return lowest
+
+    # ------------------------------------------------------------------ #
+    # Queries and reservations
+    # ------------------------------------------------------------------ #
+    def earliest_start(self, procs: int, duration: float, earliest: float | None = None) -> float:
+        """Earliest time >= ``earliest`` at which ``procs`` CPUs are free for ``duration``.
+
+        Raises
+        ------
+        ProfileError
+            If the request exceeds the cluster capacity (it can never be
+            satisfied) or the arguments are invalid.
+        """
+        if procs < 1:
+            raise ProfileError("must request at least one processor")
+        if procs > self._capacity:
+            raise ProfileError(
+                f"request for {procs} processors exceeds capacity {self._capacity}"
+            )
+        if duration <= 0:
+            raise ProfileError("duration must be positive")
+        lower = self._times[0] if earliest is None else max(earliest, self._times[0])
+
+        # Availability only changes at breakpoints, so the earliest feasible
+        # start is either the lower bound itself or a breakpoint after it.
+        # Sweep forward: whenever a segment inside the candidate window lacks
+        # capacity, restart the window at the end of that blocking segment.
+        times, avail = self._times, self._avail
+        n = len(times)
+        start = lower
+        idx = self._segment_index(start)
+        while True:
+            end = start + duration
+            blocked_at = None
+            j = idx
+            while j < n and times[j] < end:
+                if avail[j] < procs:
+                    blocked_at = j
+                    break
+                j += 1
+            if blocked_at is None:
+                return start
+            if blocked_at + 1 >= n:
+                # The last segment extends to infinity; if it blocks, the
+                # request exceeds what ever becomes free — impossible because
+                # the final segment always has full capacity.
+                raise ProfileError("internal error: no feasible start found")  # pragma: no cover
+            idx = blocked_at + 1
+            start = times[idx]
+
+    def reserve(self, start: float, duration: float, procs: int) -> None:
+        """Subtract ``procs`` processors over ``[start, start + duration)``.
+
+        Raises
+        ------
+        ProfileError
+            If the reservation would drive availability negative anywhere in
+            the interval.
+        """
+        if procs < 1:
+            raise ProfileError("must reserve at least one processor")
+        if duration <= 0:
+            raise ProfileError("duration must be positive")
+        if start < self._times[0]:
+            raise ProfileError(f"reservation start {start} precedes profile start")
+        end = start + duration
+        if self.min_free(start, end) < procs:
+            raise ProfileError(
+                f"cannot reserve {procs} processors over [{start}, {end}): insufficient capacity"
+            )
+        self._insert_breakpoint(start)
+        self._insert_breakpoint(end)
+        i = self._segment_index(start)
+        while i < len(self._times) and self._times[i] < end:
+            self._avail[i] -= procs
+            i += 1
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _segment_index(self, time: float) -> int:
+        """Index of the segment containing ``time``."""
+        return max(bisect.bisect_right(self._times, time) - 1, 0)
+
+    def _insert_breakpoint(self, time: float) -> None:
+        """Ensure ``time`` is a breakpoint (no-op if it already is)."""
+        idx = self._segment_index(time)
+        if self._times[idx] == time:
+            return
+        self._times.insert(idx + 1, time)
+        self._avail.insert(idx + 1, self._avail[idx])
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"AvailabilityProfile(capacity={self._capacity}, segments={len(self._times)})"

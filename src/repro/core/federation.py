@@ -1,0 +1,259 @@
+"""Federation orchestration: build, run and harvest a Grid-Federation simulation.
+
+:class:`Federation` wires together every substrate — simulator, clusters,
+LRMSes, GFAs, user populations, federation directory, GridBank and message
+log — from a declarative :class:`FederationConfig`, runs the discrete-event
+simulation and returns a :class:`FederationResult` containing everything the
+metrics package and the experiment drivers need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.cluster.lrms import SchedulingPolicy
+from repro.cluster.specs import ResourceSpec
+from repro.core.gfa import GFAStatistics, GridFederationAgent
+from repro.core.messages import MessageLog
+from repro.core.policies import SharingMode
+from repro.core.users import UserPopulation
+from repro.economy.bank import GridBank
+from repro.p2p.directory import FederationDirectory
+from repro.sim.engine import Simulator
+from repro.sim.entity import EntityRegistry
+from repro.sim.rng import RandomStreams
+from repro.workload.job import Job, JobStatus, QoSStrategy
+from repro.workload.qos import assign_qos, assign_strategies
+
+
+@dataclass
+class FederationConfig:
+    """Declarative description of one simulation run.
+
+    Attributes
+    ----------
+    mode:
+        Sharing environment (independent / federation / economy).
+    oft_fraction:
+        Fraction of each cluster's users that optimise for time (only used in
+        ECONOMY mode); ``0.3`` reproduces the paper's recommended 70/30 mix.
+    budget_factor, deadline_factor:
+        The Eq. 7–8 multipliers (both 2 in the paper).
+    lrms_policy:
+        Queueing policy of every cluster's LRMS.
+    horizon:
+        Length of the submission window in seconds; used as the minimum
+        observation period for utilisation statistics.
+    seed:
+        Root seed for every stochastic component of the run.
+    keep_message_records:
+        Retain individual message records (memory-heavier; useful in tests).
+    """
+
+    mode: SharingMode = SharingMode.ECONOMY
+    oft_fraction: float = 0.3
+    budget_factor: float = 2.0
+    deadline_factor: float = 2.0
+    lrms_policy: SchedulingPolicy = SchedulingPolicy.FCFS
+    horizon: float = 2 * 86_400.0
+    seed: int = 42
+    keep_message_records: bool = False
+
+
+@dataclass
+class ResourceOutcome:
+    """Everything measured about one cluster at the end of a run."""
+
+    spec: ResourceSpec
+    stats: GFAStatistics
+    utilisation: float
+    incentive: float
+    remote_jobs_processed: int
+    local_messages: int
+    remote_messages: int
+
+
+@dataclass
+class FederationResult:
+    """Outcome of one simulation run."""
+
+    config: FederationConfig
+    specs: List[ResourceSpec]
+    jobs: List[Job]
+    resources: Dict[str, ResourceOutcome]
+    message_log: MessageLog
+    bank: Optional[GridBank]
+    directory: Optional[FederationDirectory]
+    observation_period: float
+    events_processed: int
+
+    # ------------------------------------------------------------------ #
+    # Convenience queries used throughout metrics / experiments / benches
+    # ------------------------------------------------------------------ #
+    def jobs_of(self, origin: str) -> List[Job]:
+        """Jobs submitted by the local population of ``origin``."""
+        return [job for job in self.jobs if job.origin == origin]
+
+    def completed_jobs(self) -> List[Job]:
+        """All jobs that finished execution."""
+        return [job for job in self.jobs if job.status is JobStatus.COMPLETED]
+
+    def rejected_jobs(self) -> List[Job]:
+        """All jobs dropped by the superscheduler."""
+        return [job for job in self.jobs if job.status is JobStatus.REJECTED]
+
+    def total_incentive(self) -> float:
+        """Grid Dollars earned by all resource owners together."""
+        return sum(outcome.incentive for outcome in self.resources.values())
+
+    def resource_names(self) -> List[str]:
+        """Cluster names in Table 1 order."""
+        return [spec.name for spec in self.specs]
+
+
+class Federation:
+    """Builds and runs one Grid-Federation simulation.
+
+    Parameters
+    ----------
+    specs:
+        The participating clusters (Table 1 order is preserved in reports).
+    workload:
+        Mapping from cluster name to the jobs submitted by its local users.
+    config:
+        Run configuration.
+
+    Notes
+    -----
+    QoS parameters are fabricated here (Eqs. 7–8) for every mode, because the
+    acceptance criterion of Experiments 1 and 2 is also deadline-based; user
+    strategies are only assigned in ECONOMY mode.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[ResourceSpec],
+        workload: Mapping[str, Sequence[Job]],
+        config: Optional[FederationConfig] = None,
+        agent_class: type = GridFederationAgent,
+    ):
+        if not issubclass(agent_class, GridFederationAgent):
+            raise TypeError("agent_class must derive from GridFederationAgent")
+        self.agent_class = agent_class
+        self.config = config or FederationConfig()
+        self.specs = list(specs)
+        spec_names = {spec.name for spec in self.specs}
+        unknown = set(workload) - spec_names
+        if unknown:
+            raise ValueError(f"workload refers to unknown resources: {sorted(unknown)}")
+        self.workload: Dict[str, List[Job]] = {
+            spec.name: list(workload.get(spec.name, [])) for spec in self.specs
+        }
+        self.streams = RandomStreams(self.config.seed)
+
+        self.sim = Simulator()
+        self.registry = EntityRegistry()
+        self.message_log = MessageLog(keep_records=self.config.keep_message_records)
+        self.bank: Optional[GridBank] = GridBank() if self.config.mode is SharingMode.ECONOMY else None
+        self.directory: Optional[FederationDirectory] = None
+        if self.config.mode is not SharingMode.INDEPENDENT:
+            self.directory = FederationDirectory(rng=self.streams.get("directory/overlay"))
+
+        self._prepare_jobs()
+        self.gfas: Dict[str, GridFederationAgent] = {}
+        self.populations: Dict[str, UserPopulation] = {}
+        for spec in self.specs:
+            gfa = self.agent_class(
+                sim=self.sim,
+                registry=self.registry,
+                spec=spec,
+                message_log=self.message_log,
+                mode=self.config.mode,
+                directory=self.directory,
+                bank=self.bank,
+                lrms_policy=self.config.lrms_policy,
+            )
+            self.gfas[spec.name] = gfa
+            population = UserPopulation(self.sim, self.registry, spec.name, self.workload[spec.name])
+            self.populations[spec.name] = population
+        self._ran = False
+
+    # ------------------------------------------------------------------ #
+    # Preparation
+    # ------------------------------------------------------------------ #
+    def _prepare_jobs(self) -> None:
+        specs_by_name = {spec.name: spec for spec in self.specs}
+        all_jobs = [job for jobs in self.workload.values() for job in jobs]
+        assign_qos(
+            all_jobs,
+            specs_by_name,
+            budget_factor=self.config.budget_factor,
+            deadline_factor=self.config.deadline_factor,
+        )
+        if self.config.mode is SharingMode.ECONOMY:
+            assign_strategies(all_jobs, self.config.oft_fraction, self.streams.get("qos/strategies"))
+        else:
+            for job in all_jobs:
+                job.strategy = QoSStrategy.NONE
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self) -> FederationResult:
+        """Run the simulation to completion and return the collected results."""
+        if self._ran:
+            raise RuntimeError("a Federation instance can only be run once")
+        self._ran = True
+        for population in self.populations.values():
+            population.start()
+        self.sim.run()
+
+        all_jobs = [job for jobs in self.workload.values() for job in jobs]
+        last_finish = max(
+            (job.finish_time for job in all_jobs if job.finish_time is not None),
+            default=self.config.horizon,
+        )
+        observation_period = max(self.config.horizon, last_finish)
+
+        resources: Dict[str, ResourceOutcome] = {}
+        for spec in self.specs:
+            gfa = self.gfas[spec.name]
+            counters = self.message_log.counters(spec.name)
+            remote_processed = sum(
+                1
+                for job in all_jobs
+                if job.executed_on == spec.name
+                and job.origin != spec.name
+                and job.status is JobStatus.COMPLETED
+            )
+            resources[spec.name] = ResourceOutcome(
+                spec=spec,
+                stats=gfa.stats,
+                utilisation=gfa.utilisation(observation_period),
+                incentive=gfa.incentive_earned,
+                remote_jobs_processed=remote_processed,
+                local_messages=counters.local,
+                remote_messages=counters.remote,
+            )
+
+        return FederationResult(
+            config=self.config,
+            specs=self.specs,
+            jobs=all_jobs,
+            resources=resources,
+            message_log=self.message_log,
+            bank=self.bank,
+            directory=self.directory,
+            observation_period=observation_period,
+            events_processed=self.sim.events_processed,
+        )
+
+
+def run_federation(
+    specs: Sequence[ResourceSpec],
+    workload: Mapping[str, Sequence[Job]],
+    config: Optional[FederationConfig] = None,
+) -> FederationResult:
+    """One-shot helper: build a :class:`Federation`, run it, return the result."""
+    return Federation(specs, workload, config).run()

@@ -1,0 +1,279 @@
+"""The Grid Federation Agent (GFA).
+
+A GFA is the per-cluster resource management layer that couples the local
+LRMS to the federation (Section 2.0.3).  It contains two functional units:
+
+* the **distributed information manager** — publishes the cluster's quote to
+  the shared federation directory and queries it for candidate clusters, and
+* the **resource manager** — performs local superscheduling, admission control
+  for incoming remote jobs, and manages execution of remote jobs on the local
+  LRMS.
+
+Negotiation between GFAs is synchronous in simulated time (the paper's remote
+GFA "makes a decision immediately upon receiving a request"); every exchanged
+negotiate / reply / job-submission / job-completion message is recorded in the
+shared :class:`~repro.core.messages.MessageLog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cluster.lrms import SchedulingPolicy, SpaceSharedLRMS
+from repro.cluster.specs import ResourceSpec, execution_cost
+from repro.core.admission import AdmissionController
+from repro.core.messages import MessageLog, MessageType
+from repro.core.policies import SharingMode, rank_criterion_for
+from repro.economy.bank import GridBank
+from repro.p2p.directory import DirectoryQuote, FederationDirectory
+from repro.sim.engine import Simulator
+from repro.sim.entity import Entity, EntityRegistry
+from repro.sim.events import Event, EventType
+from repro.workload.job import Job, JobStatus
+
+
+@dataclass
+class GFAStatistics:
+    """Per-GFA workload processing statistics (Tables 2 and 3)."""
+
+    submitted_local: int = 0
+    accepted_local: int = 0
+    migrated_out: int = 0
+    remote_received: int = 0
+    rejected: int = 0
+    negotiations_sent: int = 0
+    negotiations_refused: int = 0
+
+    @property
+    def accepted_total(self) -> int:
+        """Local jobs that found a home (locally or in the federation)."""
+        return self.accepted_local + self.migrated_out
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of local jobs accepted (1.0 when nothing was submitted)."""
+        if self.submitted_local == 0:
+            return 1.0
+        return self.accepted_total / self.submitted_local
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of local jobs rejected."""
+        if self.submitted_local == 0:
+            return 0.0
+        return self.rejected / self.submitted_local
+
+
+class GridFederationAgent(Entity):
+    """The per-cluster federation agent.
+
+    Parameters
+    ----------
+    sim, registry:
+        Simulation engine and entity registry shared by the federation.
+    spec:
+        The cluster's resource description and quote.
+    directory:
+        Shared federation directory (may be ``None`` in INDEPENDENT mode).
+    message_log:
+        Shared message accounting.
+    bank:
+        GridBank used to settle payments in ECONOMY mode (may be ``None``
+        otherwise).
+    mode:
+        The :class:`~repro.core.policies.SharingMode` of the experiment.
+    lrms_policy:
+        Queueing policy of the local LRMS.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        registry: EntityRegistry,
+        spec: ResourceSpec,
+        message_log: MessageLog,
+        mode: SharingMode = SharingMode.ECONOMY,
+        directory: Optional[FederationDirectory] = None,
+        bank: Optional[GridBank] = None,
+        lrms_policy: SchedulingPolicy = SchedulingPolicy.FCFS,
+    ):
+        super().__init__(sim, spec.name, registry)
+        self.spec = spec
+        self.mode = mode
+        self.directory = directory
+        self.bank = bank
+        self.message_log = message_log
+        self.lrms = SpaceSharedLRMS(sim, spec, policy=lrms_policy, on_job_complete=self._on_lrms_completion)
+        self.admission = AdmissionController(self.lrms)
+        self.stats = GFAStatistics()
+        #: origin GFA name of every remote job currently hosted here
+        self._remote_job_origins: Dict[int, str] = {}
+        message_log.register_gfa(self.name)
+        if mode is not SharingMode.INDEPENDENT:
+            if directory is None:
+                raise ValueError(f"{mode.value} mode requires a federation directory")
+            directory.subscribe(self.name, spec)
+
+    # ------------------------------------------------------------------ #
+    # Event interface (used by UserPopulation entities)
+    # ------------------------------------------------------------------ #
+    def handle_event(self, event: Event) -> None:
+        if event.etype is EventType.JOB_SUBMIT:
+            self.submit_local_job(event.payload)
+        else:
+            raise ValueError(f"{self.name}: unexpected event {event.etype}")
+
+    # ------------------------------------------------------------------ #
+    # Local superscheduling (jobs submitted by the local user population)
+    # ------------------------------------------------------------------ #
+    def submit_local_job(self, job: Job) -> None:
+        """Schedule a job submitted by this cluster's local user population."""
+        if job.origin != self.name:
+            raise ValueError(
+                f"job {job.job_id} originates at {job.origin!r}, not at {self.name!r}"
+            )
+        self.stats.submitted_local += 1
+        job.status = JobStatus.SUBMITTED
+        if self.mode is SharingMode.INDEPENDENT:
+            self._schedule_independent(job)
+        elif self.mode is SharingMode.FEDERATION:
+            self._schedule_federation(job)
+        else:
+            self._schedule_economy(job)
+
+    def _schedule_independent(self, job: Job) -> None:
+        if self.spec.can_run(job) and self.lrms.can_meet_deadline(job):
+            self._accept_locally(job)
+        else:
+            self._reject(job)
+
+    def _schedule_federation(self, job: Job) -> None:
+        if self.spec.can_run(job) and self.lrms.can_meet_deadline(job):
+            self._accept_locally(job)
+            return
+        # Online scheduling over remote resources in decreasing speed order.
+        rank = 1
+        while True:
+            quote = self.directory.query(
+                rank_criterion_for(job), rank, min_processors=job.num_processors
+            )
+            if quote is None:
+                self._reject(job)
+                return
+            job.negotiation_rounds += 1
+            if quote.gfa_name == self.name:
+                rank += 1
+                continue  # local feasibility was already ruled out
+            if self._negotiate(quote, job):
+                self._migrate(quote, job)
+                return
+            rank += 1
+
+    def _schedule_economy(self, job: Job) -> None:
+        criterion = rank_criterion_for(job)
+        rank = 1
+        while True:
+            quote = self.directory.query(criterion, rank, min_processors=job.num_processors)
+            if quote is None:
+                self._reject(job)
+                return
+            job.negotiation_rounds += 1
+            # Budget feasibility is checked from the published quote alone —
+            # no message is needed to rule a candidate out on cost.
+            if job.budget is not None and execution_cost(job, quote.spec) > job.budget + 1e-9:
+                rank += 1
+                continue
+            if quote.gfa_name == self.name:
+                if self.lrms.can_meet_deadline(job):
+                    self._accept_locally(job)
+                    return
+                rank += 1
+                continue
+            if self._negotiate(quote, job):
+                self._migrate(quote, job)
+                return
+            rank += 1
+
+    # ------------------------------------------------------------------ #
+    # Placement helpers
+    # ------------------------------------------------------------------ #
+    def _accept_locally(self, job: Job) -> None:
+        self.stats.accepted_local += 1
+        self.lrms.submit(job)
+
+    def _reject(self, job: Job) -> None:
+        self.stats.rejected += 1
+        job.mark_rejected()
+
+    def _negotiate(self, quote: DirectoryQuote, job: Job) -> bool:
+        """One-to-one admission-control negotiation with a remote GFA."""
+        remote: GridFederationAgent = self.registry.lookup(quote.gfa_name)
+        self.stats.negotiations_sent += 1
+        self.message_log.record(
+            MessageType.NEGOTIATE, self.name, remote.name, job, time=self.sim.now
+        )
+        decision = remote.handle_admission_request(job)
+        self.message_log.record(
+            MessageType.REPLY, remote.name, self.name, job, time=self.sim.now
+        )
+        if not decision.accepted:
+            self.stats.negotiations_refused += 1
+        return decision.accepted
+
+    def _migrate(self, quote: DirectoryQuote, job: Job) -> None:
+        """Transfer the job to the accepting remote GFA."""
+        remote: GridFederationAgent = self.registry.lookup(quote.gfa_name)
+        self.stats.migrated_out += 1
+        self.message_log.record(
+            MessageType.JOB_SUBMISSION, self.name, remote.name, job, time=self.sim.now
+        )
+        remote.receive_remote_job(job, origin_gfa=self.name)
+
+    # ------------------------------------------------------------------ #
+    # Remote-side resource management
+    # ------------------------------------------------------------------ #
+    def handle_admission_request(self, job: Job):
+        """Answer an admission-control enquiry from another GFA."""
+        return self.admission.evaluate(job)
+
+    def receive_remote_job(self, job: Job, origin_gfa: str) -> None:
+        """Accept a migrated job for execution on the local cluster."""
+        self.stats.remote_received += 1
+        self._remote_job_origins[job.job_id] = origin_gfa
+        self.lrms.submit(job)
+
+    def _on_lrms_completion(self, job: Job) -> None:
+        """Settle accounts and notify the origin when a job finishes here."""
+        if self.mode is SharingMode.ECONOMY and self.bank is not None:
+            cost = execution_cost(job, self.spec)
+            job.cost_paid = cost
+            self.bank.transfer(
+                payer=f"user/{job.origin}/{job.user_id}",
+                payee=f"owner/{self.name}",
+                amount=cost,
+                time=self.sim.now,
+                memo=f"job {job.job_id}",
+            )
+        origin_gfa = self._remote_job_origins.pop(job.job_id, None)
+        if origin_gfa is not None:
+            self.message_log.record(
+                MessageType.JOB_COMPLETION, self.name, origin_gfa, job, time=self.sim.now
+            )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def incentive_earned(self) -> float:
+        """Grid Dollars earned by this cluster's owner so far."""
+        if self.bank is None:
+            return 0.0
+        return self.bank.earnings_of(f"owner/{self.name}")
+
+    def utilisation(self, period: float) -> float:
+        """Average resource utilisation over an observation period."""
+        return self.lrms.utilisation(period)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"GridFederationAgent({self.name!r}, mode={self.mode.value})"

@@ -1,0 +1,41 @@
+"""Resource-sharing modes and candidate ranking of the superscheduler.
+
+Three sharing environments are evaluated in the paper:
+
+* **INDEPENDENT** (Experiment 1) — every cluster schedules only its own users'
+  jobs; a job is accepted iff its deadline can be met locally.
+* **FEDERATION** (Experiment 2) — jobs that cannot meet their deadline locally
+  are offered to the other clusters in decreasing order of computational
+  speed (no economy, system-centric).
+* **ECONOMY** (Experiments 3–5) — the deadline-and-budget-constrained (DBC)
+  algorithm of Section 2.2: per-job OFT/OFC strategy, candidates ranked by the
+  federation directory, admission negotiated with each candidate in turn.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.p2p.directory import RankCriterion
+from repro.workload.job import Job, QoSStrategy
+
+
+class SharingMode(enum.Enum):
+    """The resource-sharing environment of a simulation run."""
+
+    INDEPENDENT = "independent"
+    FEDERATION = "federation"
+    ECONOMY = "economy"
+
+
+def rank_criterion_for(job: Job) -> RankCriterion:
+    """Directory ranking criterion used by the DBC algorithm for ``job``.
+
+    OFT users query for the k-th *fastest* cluster, OFC users for the k-th
+    *cheapest* one (Section 2.2).  Jobs without an economy strategy (the
+    non-economy federation mode) are ranked by speed, matching Experiment 2's
+    "decreasing order of computational speed".
+    """
+    if job.strategy is QoSStrategy.OFC:
+        return RankCriterion.CHEAPEST
+    return RankCriterion.FASTEST

@@ -1,0 +1,33 @@
+"""Computational-economy substrate: pricing policies and the GridBank.
+
+The Grid-Federation regulates resource supply and demand through a commodity
+market: every cluster owner publishes an access price (quote) and earns Grid
+Dollars for every job — local or remote — executed on their cluster.  This
+package provides
+
+* the paper's static pricing function ``c_i = (c / mu_max) * mu_i``
+  (:class:`~repro.economy.pricing.StaticPricingPolicy`),
+* a demand-driven commodity-market extension
+  (:class:`~repro.economy.pricing.DemandDrivenPricingPolicy`, Ablation B), and
+* the :class:`~repro.economy.bank.GridBank` used for credit management between
+  federation participants (Section 2.0.3 / GridBank reference [4]).
+"""
+
+from repro.economy.pricing import (
+    PricingPolicy,
+    StaticPricingPolicy,
+    DemandDrivenPricingPolicy,
+    quote_table,
+)
+from repro.economy.bank import GridBank, Account, Transaction, InsufficientFundsError
+
+__all__ = [
+    "PricingPolicy",
+    "StaticPricingPolicy",
+    "DemandDrivenPricingPolicy",
+    "quote_table",
+    "GridBank",
+    "Account",
+    "Transaction",
+    "InsufficientFundsError",
+]

@@ -1,0 +1,124 @@
+"""Pricing policies for cluster owners.
+
+Section 2.4 of the paper fixes each cluster's quote for the duration of the
+simulation with the function
+
+    c_i = f(mu_i) = (c / mu) * mu_i                                   (Eqs. 5-6)
+
+where ``c`` is the access price of the fastest resource in the federation and
+``mu`` that resource's speed: faster clusters charge proportionally more.  The
+paper leaves supply/demand driven pricing as future work; we implement a
+simple demand-driven commodity-market policy as an ablation
+(:class:`DemandDrivenPricingPolicy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+from repro.cluster.specs import ResourceSpec
+
+
+class PricingPolicy:
+    """Interface of a pricing policy."""
+
+    def price_for(self, mips: float) -> float:  # pragma: no cover - interface
+        """Return the access price of a resource with the given MIPS rating."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class StaticPricingPolicy(PricingPolicy):
+    """The paper's static quote function (Eqs. 5–6).
+
+    Parameters
+    ----------
+    access_price:
+        ``c`` — the Grid Dollar price per unit compute time charged by the
+        fastest resource.  The Table 1 quotes correspond to ``c = 5.30``.
+    max_mips:
+        ``mu`` — the speed of the fastest resource in the federation
+        (930 MIPS, NASA iPSC, in Table 1).
+    """
+
+    access_price: float = 5.30
+    max_mips: float = 930.0
+
+    def __post_init__(self) -> None:
+        if self.access_price <= 0:
+            raise ValueError("access price must be positive")
+        if self.max_mips <= 0:
+            raise ValueError("max MIPS must be positive")
+
+    def price_for(self, mips: float) -> float:
+        """Quote of a resource with speed ``mips``: ``(c / mu) * mips``."""
+        if mips <= 0:
+            raise ValueError("MIPS rating must be positive")
+        return (self.access_price / self.max_mips) * mips
+
+
+@dataclass
+class DemandDrivenPricingPolicy(PricingPolicy):
+    """A commodity-market extension: prices respond to observed demand.
+
+    This is the paper's "future work" pricing study (Section 2.4), kept
+    deliberately simple: starting from the static quote, a resource's price is
+    multiplied by ``(1 + sensitivity * (demand - supply_target))`` where
+    *demand* is the recent fraction of negotiations that targeted the
+    resource.  Prices are clamped to ``[min_factor, max_factor]`` times the
+    static quote so the market cannot run away.
+
+    The policy is deliberately stateless across resources: callers feed it the
+    demand observation and receive the updated price.
+    """
+
+    base: StaticPricingPolicy = StaticPricingPolicy()
+    sensitivity: float = 0.5
+    supply_target: float = 0.5
+    min_factor: float = 0.5
+    max_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.sensitivity < 0:
+            raise ValueError("sensitivity must be non-negative")
+        if not 0.0 <= self.supply_target <= 1.0:
+            raise ValueError("supply_target must lie in [0, 1]")
+        if not 0 < self.min_factor <= 1.0 <= self.max_factor:
+            raise ValueError("factors must satisfy 0 < min <= 1 <= max")
+
+    def price_for(self, mips: float) -> float:
+        """Base (no-demand-information) price — the static quote."""
+        return self.base.price_for(mips)
+
+    def adjusted_price(self, mips: float, demand: float) -> float:
+        """Price after observing a demand share ``demand`` in ``[0, 1]``."""
+        if not 0.0 <= demand <= 1.0:
+            raise ValueError("demand must lie in [0, 1]")
+        base_price = self.base.price_for(mips)
+        factor = 1.0 + self.sensitivity * (demand - self.supply_target)
+        factor = min(max(factor, self.min_factor), self.max_factor)
+        return base_price * factor
+
+
+def quote_table(
+    specs: Iterable[ResourceSpec],
+    policy: PricingPolicy | None = None,
+) -> Dict[str, float]:
+    """Return the quote of each resource under ``policy``.
+
+    With the default (static) policy and the Table 1 parameters this
+    reproduces the "Quote (Price)" column of Table 1.
+    """
+    policy = policy or StaticPricingPolicy()
+    return {spec.name: policy.price_for(spec.mips) for spec in specs}
+
+
+def utilisation_weighted_demand(
+    negotiation_counts: Mapping[str, int],
+) -> Dict[str, float]:
+    """Normalise per-resource negotiation counts into demand shares in [0, 1]."""
+    total = sum(negotiation_counts.values())
+    if total == 0:
+        return {name: 0.0 for name in negotiation_counts}
+    return {name: count / total for name, count in negotiation_counts.items()}

@@ -1,0 +1,42 @@
+"""Experiment drivers reproducing the paper's evaluation (Section 3).
+
+One module per experiment:
+
+* :mod:`repro.experiments.exp1_independent` — independent resources (Table 2)
+* :mod:`repro.experiments.exp2_federation`  — federation without economy (Table 3, Fig. 2)
+* :mod:`repro.experiments.exp3_economy`     — federation with economy, population-profile sweep (Figs. 3–8)
+* :mod:`repro.experiments.exp4_messages`    — message complexity per profile (Fig. 9)
+* :mod:`repro.experiments.exp5_scalability` — message complexity vs system size (Figs. 10–11)
+
+Every driver accepts a ``thin`` parameter (keep every ``thin``-th job) so that
+benchmarks and examples can run reduced-scale versions of the same code path;
+``thin=1`` reproduces the full two-day workload used in EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import (
+    DEFAULT_PROFILES,
+    default_specs,
+    default_workload,
+    thin_workload,
+)
+from repro.experiments.exp1_independent import run_experiment_1
+from repro.experiments.exp2_federation import run_experiment_2
+from repro.experiments.exp3_economy import ProfileSweepResult, run_economy_profile, run_experiment_3
+from repro.experiments.exp4_messages import message_complexity_rows, run_experiment_4
+from repro.experiments.exp5_scalability import ScalabilityPoint, run_experiment_5
+
+__all__ = [
+    "DEFAULT_PROFILES",
+    "default_specs",
+    "default_workload",
+    "thin_workload",
+    "run_experiment_1",
+    "run_experiment_2",
+    "run_economy_profile",
+    "run_experiment_3",
+    "ProfileSweepResult",
+    "message_complexity_rows",
+    "run_experiment_4",
+    "run_experiment_5",
+    "ScalabilityPoint",
+]

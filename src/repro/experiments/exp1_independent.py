@@ -1,0 +1,47 @@
+"""Experiment 1 — independent resources (no federation).
+
+Every cluster schedules only its own local workload; a job is accepted iff the
+LRMS can complete it within its deadline, otherwise it is rejected outright.
+This is the control experiment that Table 2 reports and that Fig. 2 compares
+the federated runs against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster.lrms import SchedulingPolicy
+from repro.core.federation import FederationConfig, FederationResult, run_federation
+from repro.core.policies import SharingMode
+from repro.experiments.common import default_specs, default_workload
+from repro.workload.archive import ArchiveResource
+
+
+def run_experiment_1(
+    seed: int = 42,
+    resources: Optional[Sequence[ArchiveResource]] = None,
+    thin: int = 1,
+    lrms_policy: SchedulingPolicy = SchedulingPolicy.FCFS,
+) -> FederationResult:
+    """Run the independent-resource scenario and return its result.
+
+    Parameters
+    ----------
+    seed:
+        Workload and simulation seed (the paper uses a single trace; a single
+        seed reproduces a single deterministic run).
+    resources:
+        Subset or replication of the Table 1 resources (default: all eight).
+    thin:
+        Keep every ``thin``-th job (1 = the full two-day workload).
+    lrms_policy:
+        Cluster-level queueing policy (FCFS in the paper's setup).
+    """
+    specs = default_specs(resources)
+    workload = default_workload(seed=seed, resources=resources, thin=thin)
+    config = FederationConfig(
+        mode=SharingMode.INDEPENDENT,
+        seed=seed,
+        lrms_policy=lrms_policy,
+    )
+    return run_federation(specs, workload, config)

@@ -1,0 +1,33 @@
+"""Experiment 2 — federation without economy.
+
+Jobs that cannot meet their deadline locally are offered to the other clusters
+in decreasing order of computational speed; admission is negotiated with each
+candidate in turn.  Table 3 and Fig. 2 report the outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster.lrms import SchedulingPolicy
+from repro.core.federation import FederationConfig, FederationResult, run_federation
+from repro.core.policies import SharingMode
+from repro.experiments.common import default_specs, default_workload
+from repro.workload.archive import ArchiveResource
+
+
+def run_experiment_2(
+    seed: int = 42,
+    resources: Optional[Sequence[ArchiveResource]] = None,
+    thin: int = 1,
+    lrms_policy: SchedulingPolicy = SchedulingPolicy.FCFS,
+) -> FederationResult:
+    """Run the federation-without-economy scenario and return its result."""
+    specs = default_specs(resources)
+    workload = default_workload(seed=seed, resources=resources, thin=thin)
+    config = FederationConfig(
+        mode=SharingMode.FEDERATION,
+        seed=seed,
+        lrms_policy=lrms_policy,
+    )
+    return run_federation(specs, workload, config)

@@ -1,0 +1,94 @@
+"""Experiment 3 — federation with computational economy (DBC scheduling).
+
+The paper sweeps eleven user-population profiles (0 %, 10 %, ..., 100 % of
+users seeking optimise-for-time, the rest optimise-for-cost) and studies, for
+each profile, the resource owners' incentives (Fig. 3), resource utilisation
+(Fig. 4), job migration (Fig. 5), rejections (Fig. 6) and end-user QoS
+satisfaction (Figs. 7 and 8).  Experiment 4 reuses the same sweep for message
+complexity (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.cluster.lrms import SchedulingPolicy
+from repro.core.federation import FederationConfig, FederationResult, run_federation
+from repro.core.policies import SharingMode
+from repro.experiments.common import DEFAULT_PROFILES, default_specs, default_workload
+from repro.workload.archive import ArchiveResource
+
+
+@dataclass
+class ProfileSweepResult:
+    """Results of the population-profile sweep, keyed by OFT percentage."""
+
+    results: Dict[int, FederationResult]
+
+    def profiles(self) -> Tuple[int, ...]:
+        """The swept OFT percentages, in ascending order."""
+        return tuple(sorted(self.results))
+
+    def __getitem__(self, oft_pct: int) -> FederationResult:
+        return self.results[oft_pct]
+
+    def __iter__(self):
+        return iter(sorted(self.results.items()))
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def run_economy_profile(
+    oft_pct: int,
+    seed: int = 42,
+    resources: Optional[Sequence[ArchiveResource]] = None,
+    thin: int = 1,
+    lrms_policy: SchedulingPolicy = SchedulingPolicy.FCFS,
+) -> FederationResult:
+    """Run the economy scenario for one user-population profile.
+
+    Parameters
+    ----------
+    oft_pct:
+        Percentage of users seeking optimise-for-time (0–100); the remaining
+        users seek optimise-for-cost.
+    """
+    if not 0 <= oft_pct <= 100:
+        raise ValueError(f"oft_pct must lie in [0, 100], got {oft_pct}")
+    specs = default_specs(resources)
+    workload = default_workload(seed=seed, resources=resources, thin=thin)
+    config = FederationConfig(
+        mode=SharingMode.ECONOMY,
+        oft_fraction=oft_pct / 100.0,
+        seed=seed,
+        lrms_policy=lrms_policy,
+    )
+    return run_federation(specs, workload, config)
+
+
+def run_experiment_3(
+    profiles: Sequence[int] = DEFAULT_PROFILES,
+    seed: int = 42,
+    resources: Optional[Sequence[ArchiveResource]] = None,
+    thin: int = 1,
+    lrms_policy: SchedulingPolicy = SchedulingPolicy.FCFS,
+) -> ProfileSweepResult:
+    """Sweep the user-population profiles of Experiment 3.
+
+    Returns a :class:`ProfileSweepResult` mapping each OFT percentage to its
+    :class:`~repro.core.federation.FederationResult`; Experiments 3 and 4
+    (and Figs. 3–9) are all read off this sweep.
+    """
+    results = {
+        int(oft_pct): run_economy_profile(
+            int(oft_pct),
+            seed=seed,
+            resources=resources,
+            thin=thin,
+            lrms_policy=lrms_policy,
+        )
+        for oft_pct in profiles
+    }
+    return ProfileSweepResult(results=results)

@@ -1,0 +1,111 @@
+"""Experiment 5 — message complexity with respect to system size (Figs. 10-11).
+
+The federation is scaled from 10 to 50 resources by replicating the Table 1
+clusters (each replica keeps its template's capacity, speed, price and
+workload calibration).  For every (system size, population profile) point the
+experiment records the min / average / max number of messages per job and per
+GFA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.exp3_economy import run_economy_profile
+from repro.metrics.collectors import MessageStats, per_gfa_message_stats, per_job_message_stats
+from repro.workload.archive import replicate_resources
+
+#: System sizes studied in the paper (the Java simulator could not go beyond 50).
+DEFAULT_SYSTEM_SIZES: Tuple[int, ...] = (10, 20, 30, 40, 50)
+
+#: Profiles plotted in Figs. 10 and 11 (subset of the Experiment 3 sweep).
+DEFAULT_SCALABILITY_PROFILES: Tuple[int, ...] = (0, 30, 50, 70, 100)
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """Message-complexity statistics of one (system size, profile) run."""
+
+    system_size: int
+    oft_pct: int
+    per_job: MessageStats
+    per_gfa: MessageStats
+    total_messages: int
+    jobs: int
+
+
+def run_experiment_5(
+    system_sizes: Sequence[int] = DEFAULT_SYSTEM_SIZES,
+    profiles: Sequence[int] = DEFAULT_SCALABILITY_PROFILES,
+    seed: int = 42,
+    thin: int = 3,
+) -> Dict[Tuple[int, int], ScalabilityPoint]:
+    """Sweep system sizes and population profiles.
+
+    Parameters
+    ----------
+    system_sizes:
+        Number of resources in the federation at each point (replicating the
+        Table 1 clusters round-robin).
+    profiles:
+        OFT percentages to evaluate at each size.
+    thin:
+        Keep every ``thin``-th job of every resource.  The default (3) keeps
+        the size-50 runs tractable on a laptop while preserving the relative
+        load of every resource; ``thin=1`` reproduces the full workload.
+
+    Returns
+    -------
+    dict
+        Mapping ``(system size, OFT %) -> ScalabilityPoint``.
+    """
+    points: Dict[Tuple[int, int], ScalabilityPoint] = {}
+    for size in system_sizes:
+        resources = replicate_resources(int(size))
+        for oft_pct in profiles:
+            result = run_economy_profile(
+                int(oft_pct), seed=seed, resources=resources, thin=thin
+            )
+            points[(int(size), int(oft_pct))] = ScalabilityPoint(
+                system_size=int(size),
+                oft_pct=int(oft_pct),
+                per_job=per_job_message_stats(result),
+                per_gfa=per_gfa_message_stats(result),
+                total_messages=result.message_log.total_messages,
+                jobs=len(result.jobs),
+            )
+    return points
+
+
+def scalability_rows(
+    points: Dict[Tuple[int, int], ScalabilityPoint],
+) -> Tuple[List[str], List[List[object]]]:
+    """Flatten scalability points into printable rows (Figs. 10 and 11)."""
+    headers = [
+        "System size",
+        "OFT %",
+        "Min msg/job",
+        "Avg msg/job",
+        "Max msg/job",
+        "Min msg/GFA",
+        "Avg msg/GFA",
+        "Max msg/GFA",
+        "Total messages",
+    ]
+    rows: List[List[object]] = []
+    for (size, oft_pct), point in sorted(points.items()):
+        rows.append(
+            [
+                size,
+                oft_pct,
+                point.per_job.minimum,
+                point.per_job.average,
+                point.per_job.maximum,
+                point.per_gfa.minimum,
+                point.per_gfa.average,
+                point.per_gfa.maximum,
+                point.total_messages,
+            ]
+        )
+    return headers, rows

@@ -1,0 +1,36 @@
+"""Metrics collection and report rendering for Grid-Federation runs.
+
+The collectors turn a :class:`~repro.core.federation.FederationResult` into
+the rows of the paper's tables and the series of its figures; the report
+helpers render them as aligned ASCII tables or CSV for the benchmark
+harnesses, the examples and the CLI.
+"""
+
+from repro.metrics.collectors import (
+    MessageStats,
+    QoSSummary,
+    ResourceRow,
+    incentive_by_resource,
+    message_summary,
+    per_gfa_message_stats,
+    per_job_message_stats,
+    remote_jobs_serviced,
+    resource_processing_table,
+    user_qos_summary,
+)
+from repro.metrics.report import render_table, to_csv
+
+__all__ = [
+    "MessageStats",
+    "QoSSummary",
+    "ResourceRow",
+    "incentive_by_resource",
+    "message_summary",
+    "per_gfa_message_stats",
+    "per_job_message_stats",
+    "remote_jobs_serviced",
+    "resource_processing_table",
+    "user_qos_summary",
+    "render_table",
+    "to_csv",
+]

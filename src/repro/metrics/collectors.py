@@ -1,0 +1,219 @@
+"""Collectors: turn a FederationResult into the paper's tables and figures.
+
+Every function takes a :class:`~repro.core.federation.FederationResult` and
+returns plain dataclasses / dicts so that benchmarks, examples and the CLI can
+render or post-process them without re-deriving anything from raw jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster.specs import execution_cost, execution_time
+from repro.core.federation import FederationResult
+from repro.workload.job import Job, JobStatus
+
+
+@dataclass(frozen=True)
+class ResourceRow:
+    """One row of the workload-processing tables (Tables 2 and 3)."""
+
+    name: str
+    utilisation: float
+    total_jobs: int
+    accepted_pct: float
+    rejected_pct: float
+    processed_locally: int
+    migrated_to_federation: int
+    remote_jobs_processed: int
+
+
+@dataclass(frozen=True)
+class QoSSummary:
+    """Average response time and budget spent for one resource's local users."""
+
+    name: str
+    avg_response_time: float
+    avg_budget_spent: float
+    jobs_counted: int
+
+
+@dataclass(frozen=True)
+class MessageStats:
+    """Min / average / max of a per-job or per-GFA message distribution."""
+
+    minimum: float
+    average: float
+    maximum: float
+    count: int
+
+
+# --------------------------------------------------------------------------- #
+# Tables 2 / 3 and Fig. 2, 4, 5, 6
+# --------------------------------------------------------------------------- #
+def resource_processing_table(result: FederationResult) -> List[ResourceRow]:
+    """Per-resource workload processing statistics (Tables 2 and 3)."""
+    rows: List[ResourceRow] = []
+    for spec in result.specs:
+        outcome = result.resources[spec.name]
+        stats = outcome.stats
+        total = stats.submitted_local
+        rows.append(
+            ResourceRow(
+                name=spec.name,
+                utilisation=outcome.utilisation,
+                total_jobs=total,
+                accepted_pct=100.0 * stats.acceptance_rate,
+                rejected_pct=100.0 * stats.rejection_rate,
+                processed_locally=stats.accepted_local,
+                migrated_to_federation=stats.migrated_out,
+                remote_jobs_processed=outcome.remote_jobs_processed,
+            )
+        )
+    return rows
+
+
+def average_acceptance_rate(result: FederationResult) -> float:
+    """Average per-resource job acceptance rate (as reported in Section 3.7.1)."""
+    rows = resource_processing_table(result)
+    if not rows:
+        return 100.0
+    return sum(row.accepted_pct for row in rows) / len(rows)
+
+
+def incentive_by_resource(result: FederationResult) -> Dict[str, float]:
+    """Grid Dollars earned by every resource owner (Fig. 3a)."""
+    return {name: outcome.incentive for name, outcome in result.resources.items()}
+
+
+def remote_jobs_serviced(result: FederationResult) -> Dict[str, int]:
+    """Remote jobs executed by every resource (Fig. 3b)."""
+    return {name: outcome.remote_jobs_processed for name, outcome in result.resources.items()}
+
+
+def rejected_by_resource(result: FederationResult) -> Dict[str, int]:
+    """Jobs rejected per originating resource (Fig. 6)."""
+    return {name: outcome.stats.rejected for name, outcome in result.resources.items()}
+
+
+# --------------------------------------------------------------------------- #
+# Figs. 7 and 8: end-user QoS satisfaction
+# --------------------------------------------------------------------------- #
+def _origin_spec(result: FederationResult, job: Job):
+    for spec in result.specs:
+        if spec.name == job.origin:
+            return spec
+    raise KeyError(job.origin)
+
+
+def user_qos_summary(
+    result: FederationResult,
+    include_rejected: bool = False,
+) -> List[QoSSummary]:
+    """Average response time and budget spent per originating resource.
+
+    ``include_rejected=False`` reproduces Fig. 7 (completed jobs only);
+    ``include_rejected=True`` reproduces Fig. 8, where each rejected job is
+    accounted with the response time and cost it *would* have had on its
+    unloaded originating resource — exactly the paper's convention.
+    """
+    summaries: List[QoSSummary] = []
+    for spec in result.specs:
+        response_times: List[float] = []
+        budgets: List[float] = []
+        for job in result.jobs_of(spec.name):
+            if job.status is JobStatus.COMPLETED:
+                response_times.append(job.response_time)
+                budgets.append(job.cost_paid if job.cost_paid is not None else 0.0)
+            elif job.status is JobStatus.REJECTED and include_rejected:
+                response_times.append(execution_time(job, spec))
+                budgets.append(execution_cost(job, spec))
+        count = len(response_times)
+        summaries.append(
+            QoSSummary(
+                name=spec.name,
+                avg_response_time=sum(response_times) / count if count else 0.0,
+                avg_budget_spent=sum(budgets) / count if count else 0.0,
+                jobs_counted=count,
+            )
+        )
+    return summaries
+
+
+def federation_wide_qos(result: FederationResult, include_rejected: bool = True) -> QoSSummary:
+    """Average response time / budget over *all* users of the federation."""
+    per_resource = user_qos_summary(result, include_rejected=include_rejected)
+    total_jobs = sum(s.jobs_counted for s in per_resource)
+    if total_jobs == 0:
+        return QoSSummary(name="federation", avg_response_time=0.0, avg_budget_spent=0.0, jobs_counted=0)
+    response = sum(s.avg_response_time * s.jobs_counted for s in per_resource) / total_jobs
+    budget = sum(s.avg_budget_spent * s.jobs_counted for s in per_resource) / total_jobs
+    return QoSSummary(
+        name="federation",
+        avg_response_time=response,
+        avg_budget_spent=budget,
+        jobs_counted=total_jobs,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figs. 9, 10, 11: message complexity
+# --------------------------------------------------------------------------- #
+def message_summary(result: FederationResult) -> Dict[str, Dict[str, int]]:
+    """Local / remote / total message counts per GFA (Fig. 9)."""
+    log = result.message_log
+    summary: Dict[str, Dict[str, int]] = {}
+    for spec in result.specs:
+        counters = log.counters(spec.name)
+        summary[spec.name] = {
+            "local": counters.local,
+            "remote": counters.remote,
+            "total": counters.total,
+        }
+    return summary
+
+
+def _distribution(values: List[float]) -> MessageStats:
+    if not values:
+        return MessageStats(minimum=0.0, average=0.0, maximum=0.0, count=0)
+    return MessageStats(
+        minimum=float(min(values)),
+        average=float(sum(values) / len(values)),
+        maximum=float(max(values)),
+        count=len(values),
+    )
+
+
+def per_job_message_stats(result: FederationResult, include_message_free_jobs: bool = True) -> MessageStats:
+    """Min / avg / max messages needed to schedule a job (Fig. 10).
+
+    Jobs scheduled on their own origin cluster exchange no messages; they are
+    included by default (the paper averages over all jobs in the system).
+    """
+    log = result.message_log
+    values = [float(log.messages_for_job(job.job_id)) for job in result.jobs]
+    if not include_message_free_jobs:
+        values = [v for v in values if v > 0]
+    return _distribution(values)
+
+
+def per_gfa_message_stats(result: FederationResult) -> MessageStats:
+    """Min / avg / max messages sent+received per GFA (Fig. 11)."""
+    values = [float(result.message_log.counters(spec.name).total) for spec in result.specs]
+    return _distribution(values)
+
+
+def job_migration_counts(result: FederationResult) -> Dict[str, Dict[str, int]]:
+    """Locally-processed vs migrated job counts per resource (Figs. 2b and 5)."""
+    out: Dict[str, Dict[str, int]] = {}
+    for spec in result.specs:
+        stats = result.resources[spec.name].stats
+        out[spec.name] = {
+            "total": stats.submitted_local,
+            "local": stats.accepted_local,
+            "migrated": stats.migrated_out,
+            "remote_processed": result.resources[spec.name].remote_jobs_processed,
+            "rejected": stats.rejected,
+        }
+    return out

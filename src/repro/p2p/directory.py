@@ -1,0 +1,210 @@
+"""The shared federation directory (subscribe / quote / unsubscribe / query).
+
+Every GFA publishes a *quote* — its resource description ``R_i`` and access
+price ``c_i`` — into the directory and queries it for the k-th cheapest or
+k-th fastest cluster while scheduling (Fig. 1).  The directory is backed by
+one :class:`~repro.p2p.overlay.SkipListIndex` per ranking criterion, so rank
+queries take ``O(log n)`` hops; the measured hop counts are recorded next to
+the paper's assumed ``ceil(log2 n)`` cost so the assumption can be audited.
+
+The directory also accepts *load reports* (expected queue wait per resource).
+The base Grid-Federation protocol never reads them; the coordination extension
+(Ablation C, Section 2.3's "future work") uses them to rank candidates by
+load-adjusted completion time and thereby avoid fruitless negotiations.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.specs import ResourceSpec
+from repro.p2p.overlay import OverlayError, SkipListIndex
+
+
+class RankCriterion(enum.Enum):
+    """Ranking criteria supported by directory queries."""
+
+    #: Ascending quoted access price (``c_i``) — the k-th *cheapest* cluster.
+    CHEAPEST = "cheapest"
+    #: Descending MIPS rating (``mu_i``) — the k-th *fastest* cluster.
+    FASTEST = "fastest"
+
+
+@dataclass(frozen=True)
+class DirectoryQuote:
+    """A published quote: the owning GFA plus its advertised resource set."""
+
+    gfa_name: str
+    spec: ResourceSpec
+
+    @property
+    def price(self) -> float:
+        """Quoted access price ``c_i``."""
+        return self.spec.price
+
+    @property
+    def mips(self) -> float:
+        """Advertised per-processor speed ``mu_i``."""
+        return self.spec.mips
+
+
+@dataclass
+class _QueryStats:
+    queries: int = 0
+    measured_hops: int = 0
+    assumed_messages: int = 0
+
+
+def theoretical_query_messages(system_size: int) -> int:
+    """The paper's assumed directory query cost: ``O(log n)`` messages."""
+    if system_size < 1:
+        raise ValueError("system size must be at least 1")
+    return max(1, math.ceil(math.log2(system_size))) if system_size > 1 else 1
+
+
+class FederationDirectory:
+    """Decentralised quote directory shared by all GFAs of a federation.
+
+    Parameters
+    ----------
+    rng:
+        Random generator for the overlay level assignment (inject a seeded
+        stream for reproducible hop counts).
+    """
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        rng = rng if rng is not None else np.random.default_rng()
+        self._by_price: SkipListIndex = SkipListIndex(rng=rng)
+        self._by_speed: SkipListIndex = SkipListIndex(rng=rng)
+        self._quotes: Dict[str, DirectoryQuote] = {}
+        self._load_reports: Dict[str, float] = {}
+        self._stats = _QueryStats()
+        self.load_updates: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Publication interface (subscribe / quote / unsubscribe)
+    # ------------------------------------------------------------------ #
+    def subscribe(self, gfa_name: str, spec: ResourceSpec) -> DirectoryQuote:
+        """Publish the initial quote of a GFA joining the federation."""
+        if gfa_name in self._quotes:
+            raise OverlayError(f"GFA already subscribed: {gfa_name!r}")
+        quote = DirectoryQuote(gfa_name=gfa_name, spec=spec)
+        self._quotes[gfa_name] = quote
+        self._by_price.insert((spec.price, gfa_name), quote)
+        self._by_speed.insert((-spec.mips, gfa_name), quote)
+        return quote
+
+    def update_quote(self, gfa_name: str, spec: ResourceSpec) -> DirectoryQuote:
+        """Refresh a GFA's quote (used by the dynamic-pricing extension)."""
+        self.unsubscribe(gfa_name)
+        return self.subscribe(gfa_name, spec)
+
+    def unsubscribe(self, gfa_name: str) -> None:
+        """Withdraw a GFA's quote from the federation."""
+        quote = self._quotes.pop(gfa_name, None)
+        if quote is None:
+            raise OverlayError(f"GFA not subscribed: {gfa_name!r}")
+        self._by_price.remove((quote.spec.price, gfa_name))
+        self._by_speed.remove((-quote.spec.mips, gfa_name))
+        self._load_reports.pop(gfa_name, None)
+
+    def report_load(self, gfa_name: str, expected_wait: float) -> None:
+        """Publish a load report (expected queue wait in seconds) for a GFA."""
+        if gfa_name not in self._quotes:
+            raise OverlayError(f"GFA not subscribed: {gfa_name!r}")
+        if expected_wait < 0:
+            raise ValueError("expected wait must be non-negative")
+        self._load_reports[gfa_name] = expected_wait
+        self.load_updates += 1
+
+    # ------------------------------------------------------------------ #
+    # Query interface
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._quotes)
+
+    def quotes(self) -> List[DirectoryQuote]:
+        """All published quotes (unordered snapshot)."""
+        return list(self._quotes.values())
+
+    def quote_of(self, gfa_name: str) -> DirectoryQuote:
+        """The quote published by a particular GFA."""
+        return self._quotes[gfa_name]
+
+    def load_of(self, gfa_name: str) -> float:
+        """Latest load report for a GFA (0.0 if it never reported)."""
+        return self._load_reports.get(gfa_name, 0.0)
+
+    def query(
+        self,
+        criterion: RankCriterion,
+        rank: int,
+        min_processors: int = 1,
+    ) -> Optional[DirectoryQuote]:
+        """Return the ``rank``-th cluster under ``criterion`` (1-based).
+
+        Parameters
+        ----------
+        criterion:
+            ``CHEAPEST`` ranks by ascending price, ``FASTEST`` by descending
+            MIPS rating.
+        rank:
+            1-based rank among the clusters that satisfy the processor filter.
+        min_processors:
+            Only clusters with at least this many processors are considered;
+            the DBC algorithm uses it to skip clusters that can never fit the
+            job (their resource description is in the directory, so no
+            negotiation message is needed to exclude them).
+
+        Returns
+        -------
+        DirectoryQuote or None
+            ``None`` when fewer than ``rank`` clusters satisfy the filter —
+            the signal that the DBC iteration is exhausted.
+        """
+        if rank < 1:
+            raise ValueError(f"rank must be at least 1, got {rank}")
+        index = self._by_price if criterion is RankCriterion.CHEAPEST else self._by_speed
+        self._stats.queries += 1
+        self._stats.assumed_messages += theoretical_query_messages(max(len(self._quotes), 1))
+
+        matched = 0
+        for position in range(1, len(index) + 1):
+            _key, quote = index.kth(position)
+            self._stats.measured_hops += index.last_hops
+            if quote.spec.num_processors >= min_processors:
+                matched += 1
+                if matched == rank:
+                    return quote
+        return None
+
+    def ranking(self, criterion: RankCriterion, min_processors: int = 1) -> List[DirectoryQuote]:
+        """Full ranking under a criterion (used by reports and baselines)."""
+        index = self._by_price if criterion is RankCriterion.CHEAPEST else self._by_speed
+        return [quote for _key, quote in index.items() if quote.spec.num_processors >= min_processors]
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def query_count(self) -> int:
+        """Number of rank queries served."""
+        return self._stats.queries
+
+    @property
+    def assumed_query_messages(self) -> int:
+        """Total directory messages under the paper's O(log n) assumption."""
+        return self._stats.assumed_messages
+
+    @property
+    def measured_overlay_hops(self) -> int:
+        """Total links actually traversed in the overlay while serving queries."""
+        return self._stats.measured_hops
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"FederationDirectory(quotes={len(self._quotes)}, queries={self._stats.queries})"

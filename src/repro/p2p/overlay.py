@@ -1,0 +1,235 @@
+"""Indexable skip list: the sorted peer-to-peer overlay of the directory.
+
+A skip list is the sequential cousin of skip graphs / Chord-style structured
+overlays: every element participates in ``O(log n)`` levels of linked lists
+and a search walks ``O(log n)`` links in expectation.  We use an *indexable*
+variant (every link stores the width of the span it skips) so that rank
+queries — "give me the k-th cheapest quote" — are also ``O(log n)``.
+
+The number of links traversed by a search is recorded per operation; the
+directory uses it as the measured hop count of a query, which Ablation A
+compares against the paper's assumed ``log2(n)`` cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+import numpy as np
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+_MAX_LEVEL = 32
+
+
+class OverlayError(RuntimeError):
+    """Raised on invalid overlay operations (duplicate keys, bad ranks, ...)."""
+
+
+@dataclass
+class _Node(Generic[K, V]):
+    key: Any
+    value: Any
+    forward: List[Optional["_Node"]] = field(default_factory=list)
+    width: List[int] = field(default_factory=list)
+
+
+class SkipListIndex(Generic[K, V]):
+    """A sorted key → value index with O(log n) search, insert, delete and rank.
+
+    Parameters
+    ----------
+    rng:
+        Random generator used for level assignment; inject a seeded generator
+        for fully deterministic overlays.
+    probability:
+        Probability of promoting an element one level up (0.5 is standard).
+
+    Notes
+    -----
+    Keys must be mutually comparable and unique.  Composite keys such as
+    ``(price, name)`` give deterministic tie-breaking.
+    """
+
+    def __init__(self, rng: Optional[np.random.Generator] = None, probability: float = 0.5):
+        if not 0.0 < probability < 1.0:
+            raise OverlayError("probability must lie strictly between 0 and 1")
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._p = probability
+        self._head: _Node = _Node(key=None, value=None, forward=[None], width=[1])
+        self._level = 1
+        self._size = 0
+        self.last_hops = 0
+        self.total_hops = 0
+        self.searches = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: K) -> bool:
+        return self._find(key) is not None
+
+    def keys(self) -> List[K]:
+        """All keys in sorted order."""
+        return [key for key, _ in self.items()]
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        """Iterate ``(key, value)`` pairs in key order."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    @property
+    def average_hops(self) -> float:
+        """Mean number of links traversed per search so far."""
+        return self.total_hops / self.searches if self.searches else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, key: K, value: V) -> None:
+        """Insert a key/value pair; duplicate keys are rejected."""
+        update: List[_Node] = [self._head] * self._level
+        rank: List[int] = [0] * self._level
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            rank[lvl] = 0 if lvl == self._level - 1 else rank[lvl + 1]
+            while node.forward[lvl] is not None and node.forward[lvl].key < key:
+                rank[lvl] += node.width[lvl]
+                node = node.forward[lvl]
+            update[lvl] = node
+        existing = node.forward[0]
+        if existing is not None and existing.key == key:
+            raise OverlayError(f"duplicate key: {key!r}")
+
+        new_level = self._random_level()
+        if new_level > self._level:
+            for _ in range(self._level, new_level):
+                self._head.forward.append(None)
+                self._head.width.append(self._size + 1)
+                update.append(self._head)
+                rank.append(0)
+            self._level = new_level
+
+        new_node = _Node(key=key, value=value, forward=[None] * new_level, width=[1] * new_level)
+        for lvl in range(new_level):
+            new_node.forward[lvl] = update[lvl].forward[lvl]
+            update[lvl].forward[lvl] = new_node
+            if lvl == 0:
+                new_node.width[0] = 1
+            else:
+                span = update[lvl].width[lvl]
+                left_part = rank[0] - rank[lvl] + 1
+                new_node.width[lvl] = span - left_part + 1
+                update[lvl].width[lvl] = left_part
+        for lvl in range(new_level, self._level):
+            update[lvl].width[lvl] += 1
+        self._size += 1
+
+    def remove(self, key: K) -> V:
+        """Remove a key and return its value; missing keys raise."""
+        update: List[_Node] = [self._head] * self._level
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            while node.forward[lvl] is not None and node.forward[lvl].key < key:
+                node = node.forward[lvl]
+            update[lvl] = node
+        target = node.forward[0]
+        if target is None or target.key != key:
+            raise OverlayError(f"key not found: {key!r}")
+        for lvl in range(self._level):
+            if update[lvl].forward[lvl] is target:
+                update[lvl].width[lvl] += target.width[lvl] - 1
+                update[lvl].forward[lvl] = target.forward[lvl]
+            else:
+                update[lvl].width[lvl] -= 1
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._head.forward.pop()
+            self._head.width.pop()
+            self._level -= 1
+        self._size -= 1
+        return target.value
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def search(self, key: K) -> Optional[V]:
+        """Return the value for ``key`` (``None`` if absent), counting hops."""
+        node, hops = self._descend(key)
+        self._record(hops)
+        candidate = node.forward[0]
+        if candidate is not None and candidate.key == key:
+            return candidate.value
+        return None
+
+    def kth(self, rank: int) -> Tuple[K, V]:
+        """Return the ``rank``-th smallest key and its value (1-based).
+
+        The traversal uses the width annotations, touching O(log n) nodes.
+        """
+        if rank < 1 or rank > self._size:
+            raise OverlayError(f"rank {rank} out of range (size {self._size})")
+        node = self._head
+        hops = 0
+        remaining = rank
+        for lvl in range(self._level - 1, -1, -1):
+            while node.forward[lvl] is not None and node.width[lvl] <= remaining:
+                remaining -= node.width[lvl]
+                node = node.forward[lvl]
+                hops += 1
+            if remaining == 0:
+                break
+        self._record(hops)
+        return node.key, node.value
+
+    def rank_of(self, key: K) -> int:
+        """1-based rank of ``key`` (raises if absent)."""
+        node = self._head
+        rank = 0
+        for lvl in range(self._level - 1, -1, -1):
+            while node.forward[lvl] is not None and node.forward[lvl].key < key:
+                rank += node.width[lvl]
+                node = node.forward[lvl]
+        candidate = node.forward[0]
+        if candidate is None or candidate.key != key:
+            raise OverlayError(f"key not found: {key!r}")
+        return rank + 1
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _find(self, key: K) -> Optional[_Node]:
+        node, _ = self._descend(key)
+        candidate = node.forward[0]
+        if candidate is not None and candidate.key == key:
+            return candidate
+        return None
+
+    def _descend(self, key: K) -> Tuple[_Node, int]:
+        node = self._head
+        hops = 0
+        for lvl in range(self._level - 1, -1, -1):
+            while node.forward[lvl] is not None and node.forward[lvl].key < key:
+                node = node.forward[lvl]
+                hops += 1
+        return node, hops
+
+    def _record(self, hops: int) -> None:
+        self.last_hops = hops
+        self.total_hops += hops
+        self.searches += 1
+
+    def _random_level(self) -> int:
+        level = 1
+        while self._rng.random() < self._p and level < _MAX_LEVEL:
+            level += 1
+        return level
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"SkipListIndex(size={self._size}, levels={self._level})"

@@ -1,0 +1,85 @@
+"""Event payloads exchanged between simulation entities.
+
+The Grid-Federation entities communicate through :class:`Event` objects.  An
+event has a :class:`EventType` tag, a source and destination entity name, a
+timestamp and an arbitrary payload (usually a job or a negotiation record).
+
+These events are *logical* messages; the network-message accounting performed
+for Experiments 4 and 5 lives separately in :mod:`repro.core.messages`, which
+distinguishes the paper's message categories (negotiate / reply /
+job-submission / job-completion).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class EventType(enum.Enum):
+    """Kinds of events used by the Grid-Federation simulation."""
+
+    #: A job submitted by a local user population to its GFA.
+    JOB_SUBMIT = enum.auto()
+    #: A job handed to a LRMS for execution.
+    JOB_DISPATCH = enum.auto()
+    #: A job started executing on a cluster.
+    JOB_START = enum.auto()
+    #: A job finished executing on a cluster.
+    JOB_FINISH = enum.auto()
+    #: A job could not be placed anywhere and was dropped.
+    JOB_REJECT = enum.auto()
+    #: Admission-control enquiry sent from one GFA to another.
+    NEGOTIATE = enum.auto()
+    #: Reply (accept / refuse) to an admission-control enquiry.
+    REPLY = enum.auto()
+    #: Transfer of the actual job to a remote GFA.
+    JOB_SUBMISSION = enum.auto()
+    #: Return of the job output to the originating GFA.
+    JOB_COMPLETION = enum.auto()
+    #: A quote published or refreshed in the federation directory.
+    QUOTE_UPDATE = enum.auto()
+    #: Generic timer event used by entities for internal bookkeeping.
+    TIMER = enum.auto()
+
+
+_event_ids = itertools.count(1)
+
+
+@dataclass
+class Event:
+    """A timestamped message between two entities.
+
+    Attributes
+    ----------
+    etype:
+        The :class:`EventType` tag.
+    source:
+        Name of the sending entity (``None`` for external stimuli such as
+        trace-driven job arrivals).
+    target:
+        Name of the receiving entity.
+    payload:
+        Arbitrary payload; by convention a :class:`repro.workload.job.Job`,
+        a negotiation record, or ``None``.
+    time:
+        Simulation time at which the event was delivered (filled in by the
+        delivering entity).
+    event_id:
+        Unique, monotonically increasing identifier (useful in logs).
+    """
+
+    etype: EventType
+    source: Optional[str]
+    target: str
+    payload: Any = None
+    time: float = 0.0
+    event_id: int = field(default_factory=lambda: next(_event_ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"Event({self.etype.name}, {self.source!r}->{self.target!r}, "
+            f"t={self.time:.2f}, id={self.event_id})"
+        )

@@ -1,0 +1,44 @@
+"""Workload substrate: jobs, traces, synthetic generation and QoS assignment.
+
+The paper drives its simulation with two days of traces from the Parallel
+Workloads Archive.  The archive traces themselves are not redistributable with
+this repository, so this package provides both
+
+* an SWF (Standard Workload Format) reader/writer so the real traces can be
+  plugged in (:mod:`repro.workload.trace`), and
+* a calibrated synthetic generator (:mod:`repro.workload.generator` and
+  :mod:`repro.workload.archive`) that reproduces, per resource of Table 1, the
+  job count and offered load of the two-day window used in the paper.
+
+Budgets and deadlines are fabricated per Eqs. 7–8 by :mod:`repro.workload.qos`.
+"""
+
+from repro.workload.job import Job, JobStatus, QoSStrategy, reset_job_counter
+from repro.workload.generator import SyntheticTraceGenerator, WorkloadParameters
+from repro.workload.archive import (
+    ARCHIVE_RESOURCES,
+    ArchiveResource,
+    build_federation_specs,
+    build_workload,
+)
+from repro.workload.qos import assign_qos, assign_strategies
+from repro.workload.trace import SWFField, read_swf, write_swf, jobs_from_swf
+
+__all__ = [
+    "Job",
+    "JobStatus",
+    "QoSStrategy",
+    "reset_job_counter",
+    "SyntheticTraceGenerator",
+    "WorkloadParameters",
+    "ARCHIVE_RESOURCES",
+    "ArchiveResource",
+    "build_federation_specs",
+    "build_workload",
+    "assign_qos",
+    "assign_strategies",
+    "SWFField",
+    "read_swf",
+    "write_swf",
+    "jobs_from_swf",
+]

@@ -1,0 +1,246 @@
+"""The paper's eight-resource federation (Table 1) and its calibrated workload.
+
+Table 1 of the paper lists the eight supercomputing centres whose traces drive
+the evaluation, together with their processor counts, synthetic MIPS ratings,
+network bandwidths and quoted access prices.  This module reproduces that
+configuration and attaches, for each resource, the parameters of the synthetic
+two-day workload used in place of the original (non-redistributable) traces:
+
+* ``two_day_jobs`` — the number of jobs submitted in the simulated two days,
+  taken from the "Total Job" column of Tables 2/3;
+* ``offered_load`` — requested node-seconds relative to capacity over the two
+  days, calibrated so that the independent-resource experiment (Table 2)
+  reproduces the paper's utilisation / rejection regime for that resource
+  (lightly-loaded centres around 45–60 %, the two overloaded SDSC machines
+  well above 100 % offered load).
+
+The full-trace job counts of Table 1 (79 302 for CTC SP2, etc.) refer to the
+complete multi-month logs and are reported by the Table 1 bench for reference
+only; the simulation uses the two-day counts, as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.cluster.specs import ResourceSpec
+from repro.economy.pricing import StaticPricingPolicy
+from repro.sim.rng import RandomStreams
+from repro.workload.generator import SyntheticTraceGenerator, WorkloadParameters, merge_workloads
+from repro.workload.job import Job
+
+#: Two simulated days, the evaluation horizon of every experiment in the paper.
+TWO_DAYS = 2 * 86_400.0
+
+
+@dataclass(frozen=True)
+class ArchiveResource:
+    """One row of Table 1 plus the calibration data for its synthetic workload.
+
+    ``workload_overrides`` tunes the shape of the synthetic trace beyond the
+    offered load (job-size ceiling, arrival burstiness, runtime distribution):
+    the archive traces differ markedly in these respects and the overrides are
+    what lets the independent-resource experiment land in each resource's
+    utilisation / rejection regime from Table 2.
+    """
+
+    index: int
+    name: str
+    trace_period: str
+    processors: int
+    mips: float
+    full_trace_jobs: int
+    quote: float
+    bandwidth_gbps: float
+    two_day_jobs: int
+    offered_load: float
+    workload_overrides: Dict[str, Any] = field(default_factory=dict, hash=False, compare=False)
+
+    def spec(self, price: Optional[float] = None) -> ResourceSpec:
+        """Build the :class:`ResourceSpec` for this resource.
+
+        ``price`` overrides the Table 1 quote (used by pricing-policy
+        experiments); by default the published quote is used.
+        """
+        return ResourceSpec(
+            name=self.name,
+            num_processors=self.processors,
+            mips=self.mips,
+            bandwidth_gbps=self.bandwidth_gbps,
+            price=self.quote if price is None else price,
+        )
+
+    def workload_parameters(self, horizon: float = TWO_DAYS) -> WorkloadParameters:
+        """Parameters of the calibrated synthetic workload for this resource."""
+        return WorkloadParameters(
+            resource_name=self.name,
+            num_jobs=self.two_day_jobs,
+            horizon=horizon,
+            offered_load=self.offered_load,
+            max_processors=self.processors,
+            mips=self.mips,
+            bandwidth_gbps=self.bandwidth_gbps,
+            **self.workload_overrides,
+        )
+
+
+#: The eight resources of Table 1.  MIPS ratings, quotes and bandwidths are the
+#: paper's synthetic QoS assignment; two-day job counts come from Tables 2/3;
+#: offered loads are calibrated against Table 2 (see module docstring).
+ARCHIVE_RESOURCES: List[ArchiveResource] = [
+    ArchiveResource(
+        1, "CTC SP2", "June96-May97", 512, 850.0, 79_302, 4.84, 2.0, 417, 0.70,
+        workload_overrides={"day_fraction": 0.55, "max_job_fraction": 0.2},
+    ),
+    ArchiveResource(
+        2, "KTH SP2", "Sep96-Aug97", 100, 900.0, 28_490, 5.12, 1.6, 163, 0.66,
+        workload_overrides={"day_fraction": 0.55, "max_job_fraction": 0.16},
+    ),
+    ArchiveResource(
+        3, "LANL CM5", "Oct94-Sep96", 1024, 700.0, 201_387, 3.98, 1.0, 215, 0.64,
+        # The CM-5 log contains very wide jobs that are hard to place, which is
+        # what drives its unusually high rejection rate at modest utilisation.
+        workload_overrides={"max_job_fraction": 0.5, "day_fraction": 0.85},
+    ),
+    ArchiveResource(
+        4, "LANL Origin", "Nov99-Apr2000", 2048, 630.0, 121_989, 3.59, 1.6, 817, 0.58,
+        workload_overrides={"day_fraction": 0.55, "max_job_fraction": 0.2},
+    ),
+    ArchiveResource(
+        5, "NASA iPSC", "Oct93-Dec93", 128, 930.0, 42_264, 5.30, 4.0, 535, 0.76,
+        # The iPSC trace is made of many small, short jobs arriving smoothly,
+        # which is why the paper reports a 100 % acceptance rate for it.
+        workload_overrides={
+            "max_job_fraction": 0.125,
+            "day_fraction": 0.35,
+            "mean_log_runtime": 7.2,
+            "serial_fraction": 0.35,
+        },
+    ),
+    ArchiveResource(
+        6, "SDSC Par96", "Dec95-Dec96", 416, 710.0, 38_719, 4.04, 1.0, 189, 0.60,
+        workload_overrides={"day_fraction": 0.55},
+    ),
+    ArchiveResource(
+        7, "SDSC Blue", "Apr2000-Jan2003", 1152, 730.0, 250_440, 4.16, 2.0, 215, 1.70,
+        # Heavily oversubscribed window with fairly uniform, long-running
+        # jobs: high utilisation *and* a ~40 % rejection rate when the
+        # resource stands alone (Table 2).
+        workload_overrides={
+            "day_fraction": 0.85,
+            "sigma_log_runtime": 0.6,
+            "serial_fraction": 0.05,
+        },
+    ),
+    ArchiveResource(
+        8, "SDSC SP2", "Apr98-Apr2000", 128, 920.0, 73_496, 5.24, 4.0, 111, 1.70,
+        workload_overrides={
+            "day_fraction": 0.85,
+            "sigma_log_runtime": 0.6,
+            "serial_fraction": 0.05,
+        },
+    ),
+]
+
+
+def archive_by_name() -> Dict[str, ArchiveResource]:
+    """Mapping from resource name to its :class:`ArchiveResource` entry."""
+    return {res.name: res for res in ARCHIVE_RESOURCES}
+
+
+def build_federation_specs(
+    resources: Optional[Sequence[ArchiveResource]] = None,
+    pricing: Optional[StaticPricingPolicy] = None,
+) -> List[ResourceSpec]:
+    """Build the :class:`ResourceSpec` list for the federation.
+
+    Parameters
+    ----------
+    resources:
+        Archive resources to include (defaults to all eight of Table 1).
+    pricing:
+        Optional pricing policy; when given, quotes are recomputed through
+        Eq. 5–6 instead of using the Table 1 values (the two coincide for the
+        default policy parameters).
+    """
+    resources = list(ARCHIVE_RESOURCES) if resources is None else list(resources)
+    specs = []
+    for res in resources:
+        if pricing is None:
+            specs.append(res.spec())
+        else:
+            specs.append(res.spec(price=pricing.price_for(res.mips)))
+    return specs
+
+
+def build_workload(
+    streams: RandomStreams,
+    resources: Optional[Sequence[ArchiveResource]] = None,
+    horizon: float = TWO_DAYS,
+) -> Dict[str, List[Job]]:
+    """Generate the calibrated synthetic workload for each resource.
+
+    Parameters
+    ----------
+    streams:
+        Random-stream factory; each resource draws from its own stream
+        ``"workload/<resource name>"`` so that adding or removing a resource
+        never perturbs the others' workloads.
+    resources:
+        Archive resources to generate for (defaults to all eight).
+    horizon:
+        Length of the submission window (two days by default).
+
+    Returns
+    -------
+    dict
+        Mapping from resource name to its (time-sorted) job list.
+    """
+    resources = list(ARCHIVE_RESOURCES) if resources is None else list(resources)
+    workload: Dict[str, List[Job]] = {}
+    for res in resources:
+        rng = streams.get(f"workload/{res.name}")
+        generator = SyntheticTraceGenerator(res.workload_parameters(horizon), rng)
+        workload[res.name] = generator.generate()
+    return workload
+
+
+def combined_workload(workload: Mapping[str, Sequence[Job]]) -> List[Job]:
+    """Flatten a per-resource workload into a single submit-time ordered list."""
+    return merge_workloads(list(workload.values()))
+
+
+def replicate_resources(count: int, suffix: str = "#") -> List[ArchiveResource]:
+    """Replicate the Table 1 resources to reach ``count`` entries (Experiment 5).
+
+    The paper scales the system from 10 to 50 resources by replicating the
+    existing eight; replicas keep the original's capacity, speed, price and
+    workload calibration but receive a unique name (``"CTC SP2 #2"`` etc.).
+    """
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    replicated: List[ArchiveResource] = []
+    base = ARCHIVE_RESOURCES
+    for i in range(count):
+        template = base[i % len(base)]
+        copy_index = i // len(base) + 1
+        if copy_index == 1:
+            replicated.append(template)
+        else:
+            replicated.append(
+                ArchiveResource(
+                    index=i + 1,
+                    name=f"{template.name} {suffix}{copy_index}",
+                    trace_period=template.trace_period,
+                    processors=template.processors,
+                    mips=template.mips,
+                    full_trace_jobs=template.full_trace_jobs,
+                    quote=template.quote,
+                    bandwidth_gbps=template.bandwidth_gbps,
+                    two_day_jobs=template.two_day_jobs,
+                    offered_load=template.offered_load,
+                    workload_overrides=dict(template.workload_overrides),
+                )
+            )
+    return replicated

@@ -1,0 +1,200 @@
+"""The parallel job model.
+
+A job ``J_{i,j,k}`` (i-th job of user j at resource k) is described in the
+paper by the tuple ``(p, l, b, d, alpha)``:
+
+* ``p``     — number of processors required,
+* ``l``     — job length in millions of instructions (MI),
+* ``b``     — budget in Grid Dollars the user is willing to pay,
+* ``d``     — deadline (maximum delay) relative to the submission time,
+* ``alpha`` — communication-overhead parameter; the total data transferred is
+  ``Gamma = alpha * gamma_k`` where ``gamma_k`` is the origin cluster's
+  interconnect bandwidth (Eq. 1).
+
+In addition to those static attributes the :class:`Job` records its life-cycle
+(submission, placement, start, finish, rejection) so that the metrics package
+can compute response times, budgets spent and migration statistics afterwards.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class QoSStrategy(enum.Enum):
+    """Per-job QoS optimisation strategy of the submitting user."""
+
+    #: Optimise for cost: minimum cost within the deadline (OFC).
+    OFC = "ofc"
+    #: Optimise for time: minimum response time within the budget (OFT).
+    OFT = "oft"
+    #: No economy: system-centric scheduling (Experiments 1 and 2).
+    NONE = "none"
+
+
+class JobStatus(enum.Enum):
+    """Life-cycle states of a job."""
+
+    CREATED = enum.auto()
+    SUBMITTED = enum.auto()
+    QUEUED = enum.auto()
+    RUNNING = enum.auto()
+    COMPLETED = enum.auto()
+    REJECTED = enum.auto()
+
+
+_job_counter = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """A single parallel job flowing through the Grid-Federation.
+
+    Parameters
+    ----------
+    origin:
+        Name of the cluster (resource) whose local user population submitted
+        the job — index ``k`` in the paper's notation.
+    user_id:
+        Identifier of the submitting user within the origin's population.
+    submit_time:
+        Simulation time ``s`` at which the job enters the system.
+    num_processors:
+        Processors required, ``p``.
+    length_mi:
+        Job length ``l`` in millions of instructions (total across all
+        processors; the per-processor compute time on resource ``m`` is
+        ``l / (mu_m * p)``).
+    comm_data_gb:
+        Total data transferred during execution, ``Gamma = alpha * gamma_k``
+        (Eq. 1), expressed in gigabits so that dividing by a bandwidth in
+        Gb/s yields seconds.
+    budget:
+        Budget ``b`` in Grid Dollars (``None`` until QoS assignment).
+    deadline:
+        Deadline ``d`` relative to ``submit_time`` (``None`` until QoS
+        assignment).
+    strategy:
+        The user's :class:`QoSStrategy` for this job.
+    """
+
+    origin: str
+    user_id: int
+    submit_time: float
+    num_processors: int
+    length_mi: float
+    comm_data_gb: float = 0.0
+    budget: Optional[float] = None
+    deadline: Optional[float] = None
+    strategy: QoSStrategy = QoSStrategy.NONE
+    job_id: int = field(default_factory=lambda: next(_job_counter))
+
+    # Life-cycle bookkeeping (filled in by the simulation).
+    status: JobStatus = JobStatus.CREATED
+    executed_on: Optional[str] = None
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    cost_paid: Optional[float] = None
+    negotiation_rounds: int = 0
+    messages: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1:
+            raise ValueError(f"job requires at least one processor, got {self.num_processors}")
+        if self.length_mi <= 0:
+            raise ValueError(f"job length must be positive, got {self.length_mi}")
+        if self.comm_data_gb < 0:
+            raise ValueError(f"communication data must be non-negative, got {self.comm_data_gb}")
+        if self.submit_time < 0:
+            raise ValueError(f"submit time must be non-negative, got {self.submit_time}")
+        if self.budget is not None and self.budget < 0:
+            raise ValueError("budget must be non-negative")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def absolute_deadline(self) -> Optional[float]:
+        """Completion deadline ``s + d`` in absolute simulation time."""
+        if self.deadline is None:
+            return None
+        return self.submit_time + self.deadline
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Response time (finish - submit) for completed jobs, else ``None``."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.submit_time
+
+    @property
+    def waiting_time(self) -> Optional[float]:
+        """Queue waiting time (start - submit) for started jobs, else ``None``."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def was_migrated(self) -> bool:
+        """True if the job executed on a cluster other than its origin."""
+        return self.executed_on is not None and self.executed_on != self.origin
+
+    @property
+    def qos_satisfied(self) -> bool:
+        """True if the job completed within both budget and deadline.
+
+        Following Section 2.1: "a job's QoS has been satisfied if the job is
+        completed within budget and deadline, otherwise it is not".  Jobs
+        without assigned QoS parameters only need to have completed.
+        """
+        if self.status is not JobStatus.COMPLETED:
+            return False
+        if self.absolute_deadline is not None and self.finish_time is not None:
+            if self.finish_time > self.absolute_deadline + 1e-9:
+                return False
+        if self.budget is not None and self.cost_paid is not None:
+            if self.cost_paid > self.budget + 1e-9:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Life-cycle transitions
+    # ------------------------------------------------------------------ #
+    def mark_queued(self, resource: str) -> None:
+        """Record that the job was accepted into ``resource``'s LRMS queue."""
+        self.status = JobStatus.QUEUED
+        self.executed_on = resource
+
+    def mark_running(self, time: float) -> None:
+        """Record the execution start time."""
+        self.status = JobStatus.RUNNING
+        self.start_time = time
+
+    def mark_completed(self, time: float, cost: Optional[float] = None) -> None:
+        """Record completion and (optionally) the Grid Dollars paid."""
+        self.status = JobStatus.COMPLETED
+        self.finish_time = time
+        if cost is not None:
+            self.cost_paid = cost
+
+    def mark_rejected(self) -> None:
+        """Record that no resource in the federation could take the job."""
+        self.status = JobStatus.REJECTED
+        self.executed_on = None
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"Job(id={self.job_id}, origin={self.origin!r}, p={self.num_processors}, "
+            f"l={self.length_mi:.0f}MI, status={self.status.name})"
+        )
+
+
+def reset_job_counter() -> None:
+    """Reset the global job-id counter (used by tests for determinism)."""
+    global _job_counter
+    _job_counter = itertools.count(1)

@@ -1,0 +1,47 @@
+"""Tests for the ``gridfed`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["table2", "--thin", "5", "--seed", "7"])
+        assert args.command == "table2"
+        assert args.thin == 5
+        assert args.seed == 7
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+
+class TestCommands:
+    def test_table1_prints_configuration(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "CTC SP2" in out
+        assert "LANL Origin" in out
+        assert "Two-day jobs" in out
+
+    def test_table4_prints_related_systems(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Grid-Federation" in out
+        assert "Tycoon" in out
+
+    def test_table2_reduced_run(self, capsys):
+        assert main(["table2", "--thin", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "without federation" in out
+        assert "SDSC Blue" in out
+
+    def test_figure9_reduced_run(self, capsys):
+        assert main(["figure9", "--thin", "10", "--profiles", "0", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Total messages" in out
+        assert "OFT %" in out

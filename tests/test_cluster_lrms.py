@@ -1,0 +1,284 @@
+"""Tests for the space-shared LRMS (FCFS and EASY backfilling)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ResourceSpec, SpaceSharedLRMS, SchedulingPolicy
+from repro.cluster.specs import execution_time
+from repro.sim import Simulator
+from repro.workload.job import Job, JobStatus
+
+
+def make_spec(procs=16, mips=1000.0, bandwidth=2.0, price=4.0, name="cluster"):
+    return ResourceSpec(
+        name=name, num_processors=procs, mips=mips, bandwidth_gbps=bandwidth, price=price
+    )
+
+
+def make_job(procs=4, runtime=100.0, submit=0.0, spec=None, comm=0.0, **kw):
+    """Build a job whose compute time on ``spec`` is exactly ``runtime`` seconds."""
+    spec = spec or make_spec()
+    return Job(
+        origin=spec.name,
+        user_id=0,
+        submit_time=submit,
+        num_processors=procs,
+        length_mi=runtime * spec.mips * procs,
+        comm_data_gb=comm,
+        **kw,
+    )
+
+
+@pytest.fixture()
+def world():
+    sim = Simulator()
+    spec = make_spec()
+    lrms = SpaceSharedLRMS(sim, spec)
+    return sim, spec, lrms
+
+
+class TestExecution:
+    def test_single_job_runs_for_its_execution_time(self, world):
+        sim, spec, lrms = world
+        job = make_job(procs=4, runtime=100.0, spec=spec)
+        lrms.submit(job)
+        sim.run()
+        assert job.status is JobStatus.COMPLETED
+        assert job.start_time == pytest.approx(0.0)
+        assert job.finish_time == pytest.approx(execution_time(job, spec))
+        assert lrms.jobs_completed == 1
+
+    def test_communication_overhead_extends_runtime(self):
+        sim = Simulator()
+        spec = make_spec(bandwidth=2.0)
+        lrms = SpaceSharedLRMS(sim, spec)
+        job = make_job(procs=4, runtime=100.0, spec=spec, comm=20.0)  # 20 Gb / 2 Gb/s = 10 s
+        lrms.submit(job)
+        sim.run()
+        assert job.finish_time == pytest.approx(110.0)
+
+    def test_parallel_jobs_run_concurrently_when_nodes_available(self, world):
+        sim, spec, lrms = world
+        a = make_job(procs=8, runtime=100.0, spec=spec)
+        b = make_job(procs=8, runtime=100.0, spec=spec)
+        lrms.submit(a)
+        lrms.submit(b)
+        sim.run()
+        assert a.start_time == pytest.approx(0.0)
+        assert b.start_time == pytest.approx(0.0)
+
+    def test_job_queues_when_nodes_busy(self, world):
+        sim, spec, lrms = world
+        a = make_job(procs=12, runtime=100.0, spec=spec)
+        b = make_job(procs=12, runtime=50.0, spec=spec)
+        lrms.submit(a)
+        lrms.submit(b)
+        assert lrms.queue_length == 1
+        sim.run()
+        assert b.start_time == pytest.approx(100.0)
+        assert b.finish_time == pytest.approx(150.0)
+
+    def test_too_large_job_rejected_at_submit(self, world):
+        _, spec, lrms = world
+        with pytest.raises(ValueError):
+            lrms.submit(make_job(procs=17, spec=spec))
+
+    def test_completion_callback_invoked(self):
+        sim = Simulator()
+        spec = make_spec()
+        completed = []
+        lrms = SpaceSharedLRMS(sim, spec, on_job_complete=completed.append)
+        job = make_job(spec=spec)
+        lrms.submit(job)
+        sim.run()
+        assert completed == [job]
+
+    def test_busy_node_seconds_accounting(self, world):
+        sim, spec, lrms = world
+        lrms.submit(make_job(procs=4, runtime=100.0, spec=spec))
+        lrms.submit(make_job(procs=2, runtime=50.0, spec=spec))
+        sim.run()
+        assert lrms.busy_node_seconds == pytest.approx(4 * 100.0 + 2 * 50.0)
+        assert lrms.utilisation(period=1000.0) == pytest.approx(500.0 / (16 * 1000.0))
+
+    def test_utilisation_requires_positive_period(self, world):
+        _, _, lrms = world
+        with pytest.raises(ValueError):
+            lrms.utilisation(0.0)
+
+
+class TestFCFSOrdering:
+    def test_fcfs_does_not_overtake_head_of_queue(self):
+        """Under strict FCFS a small job must wait behind a blocked large job."""
+        sim = Simulator()
+        spec = make_spec(procs=16)
+        lrms = SpaceSharedLRMS(sim, spec, policy=SchedulingPolicy.FCFS)
+        running = make_job(procs=10, runtime=100.0, spec=spec)
+        blocked_head = make_job(procs=16, runtime=10.0, spec=spec)
+        small = make_job(procs=2, runtime=10.0, spec=spec)
+        lrms.submit(running)
+        lrms.submit(blocked_head)
+        lrms.submit(small)
+        sim.run()
+        assert blocked_head.start_time == pytest.approx(100.0)
+        assert small.start_time >= blocked_head.start_time
+
+
+class TestEasyBackfilling:
+    def test_backfill_starts_small_job_in_hole(self):
+        """EASY lets the small job run during the hole because it finishes
+        before the head job's reservation (the shadow time)."""
+        sim = Simulator()
+        spec = make_spec(procs=16)
+        lrms = SpaceSharedLRMS(sim, spec, policy=SchedulingPolicy.EASY_BACKFILL)
+        running = make_job(procs=10, runtime=100.0, spec=spec)
+        blocked_head = make_job(procs=16, runtime=10.0, spec=spec)
+        small = make_job(procs=2, runtime=10.0, spec=spec)
+        lrms.submit(running)
+        lrms.submit(blocked_head)
+        lrms.submit(small)
+        sim.run()
+        assert small.start_time == pytest.approx(0.0)
+        # The head job still starts at its shadow time — backfilling never
+        # delays the reservation.
+        assert blocked_head.start_time == pytest.approx(100.0)
+
+    def test_backfill_does_not_delay_head_job(self):
+        """A long small job that would push the head job back must wait."""
+        sim = Simulator()
+        spec = make_spec(procs=16)
+        lrms = SpaceSharedLRMS(sim, spec, policy=SchedulingPolicy.EASY_BACKFILL)
+        running = make_job(procs=10, runtime=100.0, spec=spec)
+        blocked_head = make_job(procs=16, runtime=10.0, spec=spec)
+        long_small = make_job(procs=8, runtime=500.0, spec=spec)
+        lrms.submit(running)
+        lrms.submit(blocked_head)
+        lrms.submit(long_small)
+        sim.run()
+        assert blocked_head.start_time == pytest.approx(100.0)
+        assert long_small.start_time >= blocked_head.start_time
+
+    def test_backfill_uses_spare_nodes_for_long_jobs(self):
+        """A long narrow job may backfill if it only uses processors the head
+        job will not need at its shadow time."""
+        sim = Simulator()
+        spec = make_spec(procs=16)
+        lrms = SpaceSharedLRMS(sim, spec, policy=SchedulingPolicy.EASY_BACKFILL)
+        running = make_job(procs=10, runtime=100.0, spec=spec)
+        head = make_job(procs=12, runtime=10.0, spec=spec)  # shadow at t=100, needs 12
+        narrow_long = make_job(procs=4, runtime=1000.0, spec=spec)  # uses the 4 spare nodes
+        lrms.submit(running)
+        lrms.submit(head)
+        lrms.submit(narrow_long)
+        sim.run()
+        assert narrow_long.start_time == pytest.approx(0.0)
+        assert head.start_time == pytest.approx(100.0)
+
+
+class TestCompletionEstimates:
+    def test_estimate_on_empty_cluster_is_unloaded_time(self, world):
+        sim, spec, lrms = world
+        job = make_job(procs=4, runtime=100.0, spec=spec)
+        assert lrms.estimate_completion_time(job) == pytest.approx(execution_time(job, spec))
+
+    def test_estimate_accounts_for_running_and_queued_jobs(self, world):
+        sim, spec, lrms = world
+        lrms.submit(make_job(procs=16, runtime=100.0, spec=spec))
+        lrms.submit(make_job(procs=16, runtime=50.0, spec=spec))
+        probe = make_job(procs=16, runtime=10.0, spec=spec)
+        assert lrms.estimate_completion_time(probe) == pytest.approx(160.0)
+
+    def test_estimate_matches_actual_completion_under_fcfs(self, world):
+        """The admission-control estimate is exact for FCFS."""
+        sim, spec, lrms = world
+        jobs = [
+            make_job(procs=10, runtime=100.0, spec=spec),
+            make_job(procs=8, runtime=30.0, spec=spec),
+            make_job(procs=16, runtime=20.0, spec=spec),
+        ]
+        for job in jobs[:2]:
+            lrms.submit(job)
+        estimate = lrms.estimate_completion_time(jobs[2])
+        lrms.submit(jobs[2])
+        sim.run()
+        assert jobs[2].finish_time == pytest.approx(estimate)
+
+    def test_can_meet_deadline(self, world):
+        sim, spec, lrms = world
+        lrms.submit(make_job(procs=16, runtime=100.0, spec=spec))
+        tight = make_job(procs=16, runtime=10.0, spec=spec, deadline=50.0)
+        loose = make_job(procs=16, runtime=10.0, spec=spec, deadline=500.0)
+        assert lrms.can_meet_deadline(tight) is False
+        assert lrms.can_meet_deadline(loose) is True
+
+    def test_can_meet_deadline_without_deadline_is_true(self, world):
+        _, spec, lrms = world
+        assert lrms.can_meet_deadline(make_job(spec=spec)) is True
+
+    def test_can_meet_deadline_for_oversized_job_is_false(self, world):
+        _, spec, lrms = world
+        big = make_job(procs=32, spec=make_spec(procs=32), deadline=1e9)
+        assert lrms.can_meet_deadline(big) is False
+
+
+class TestProperties:
+    @given(
+        jobs=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=16),      # processors
+                st.floats(min_value=1.0, max_value=500.0),   # runtime
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        policy=st.sampled_from(list(SchedulingPolicy)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_jobs_complete_and_capacity_never_exceeded(self, jobs, policy):
+        sim = Simulator()
+        spec = make_spec(procs=16)
+        lrms = SpaceSharedLRMS(sim, spec, policy=policy)
+        job_objs = [make_job(procs=p, runtime=r, spec=spec) for p, r in jobs]
+        for job in job_objs:
+            lrms.submit(job)
+        # Track concurrent usage at every start event.
+        sim.run()
+        assert all(j.status is JobStatus.COMPLETED for j in job_objs)
+        assert lrms.jobs_completed == len(job_objs)
+        # No two jobs' node allocations overlapped: reconstruct usage timeline.
+        events = []
+        for j in job_objs:
+            events.append((j.start_time, j.num_processors))
+            events.append((j.finish_time, -j.num_processors))
+        usage, peak = 0, 0
+        # Releases and allocations at the same instant never overlap in the
+        # LRMS (release happens first), so process negative deltas first.
+        for _, delta in sorted(events, key=lambda e: (e[0], e[1])):
+            usage += delta
+            peak = max(peak, usage)
+        assert peak <= spec.num_processors
+
+    @given(
+        jobs=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=16),
+                st.floats(min_value=1.0, max_value=200.0),
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_busy_node_seconds_equals_sum_of_job_areas(self, jobs):
+        sim = Simulator()
+        spec = make_spec(procs=16)
+        lrms = SpaceSharedLRMS(sim, spec)
+        job_objs = [make_job(procs=p, runtime=r, spec=spec) for p, r in jobs]
+        for job in job_objs:
+            lrms.submit(job)
+        sim.run()
+        expected = sum(j.num_processors * (j.finish_time - j.start_time) for j in job_objs)
+        assert lrms.busy_node_seconds == pytest.approx(expected)

@@ -1,0 +1,101 @@
+"""Tests for the NodePool allocation layer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machine import AllocationError, NodePool
+
+
+class TestNodePool:
+    def test_initial_state(self):
+        pool = NodePool(16)
+        assert pool.capacity == 16
+        assert pool.free_count == 16
+        assert pool.busy_count == 0
+        assert pool.utilisation == 0.0
+
+    def test_allocate_and_release(self):
+        pool = NodePool(8)
+        nodes = pool.allocate(job_id=1, count=3)
+        assert len(nodes) == 3
+        assert pool.free_count == 5
+        assert pool.allocation_of(1) == nodes
+        released = pool.release(1)
+        assert released == nodes
+        assert pool.free_count == 8
+        assert pool.allocation_of(1) == frozenset()
+
+    def test_allocations_are_disjoint(self):
+        pool = NodePool(10)
+        a = pool.allocate(1, 4)
+        b = pool.allocate(2, 4)
+        assert a.isdisjoint(b)
+        assert pool.allocated_jobs() == {1, 2}
+
+    def test_over_allocation_rejected(self):
+        pool = NodePool(4)
+        pool.allocate(1, 3)
+        with pytest.raises(AllocationError):
+            pool.allocate(2, 2)
+
+    def test_double_allocation_rejected(self):
+        pool = NodePool(8)
+        pool.allocate(1, 2)
+        with pytest.raises(AllocationError):
+            pool.allocate(1, 2)
+
+    def test_release_unknown_job_rejected(self):
+        pool = NodePool(8)
+        with pytest.raises(AllocationError):
+            pool.release(99)
+
+    def test_zero_count_rejected(self):
+        pool = NodePool(8)
+        with pytest.raises(AllocationError):
+            pool.allocate(1, 0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(AllocationError):
+            NodePool(0)
+
+    def test_released_nodes_are_reused(self):
+        pool = NodePool(4)
+        first = pool.allocate(1, 4)
+        pool.release(1)
+        second = pool.allocate(2, 4)
+        assert first == second
+
+    def test_utilisation_fraction(self):
+        pool = NodePool(10)
+        pool.allocate(1, 5)
+        assert pool.utilisation == pytest.approx(0.5)
+
+
+class TestNodePoolProperties:
+    @given(
+        capacity=st.integers(min_value=1, max_value=64),
+        requests=st.lists(st.integers(min_value=1, max_value=16), max_size=30),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_never_over_allocates(self, capacity, requests):
+        """Whatever the request sequence, busy + free == capacity and no node
+        is ever allocated to two jobs at once."""
+        pool = NodePool(capacity)
+        held: dict[int, frozenset] = {}
+        for job_id, count in enumerate(requests):
+            try:
+                held[job_id] = pool.allocate(job_id, count)
+            except AllocationError:
+                continue
+            assert pool.busy_count + pool.free_count == capacity
+        # All held sets are pairwise disjoint.
+        all_nodes = [n for nodes in held.values() for n in nodes]
+        assert len(all_nodes) == len(set(all_nodes))
+        assert len(all_nodes) == pool.busy_count
+        # Releasing everything restores the initial state.
+        for job_id in held:
+            pool.release(job_id)
+        assert pool.free_count == capacity

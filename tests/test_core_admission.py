@@ -1,0 +1,79 @@
+"""Tests for admission control (the one-to-one negotiation decision)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ResourceSpec, SpaceSharedLRMS
+from repro.core.admission import AdmissionController
+from repro.sim import Simulator
+from repro.workload.job import Job
+
+
+def make_spec(procs=16):
+    return ResourceSpec(name="cluster", num_processors=procs, mips=1000.0, bandwidth_gbps=2.0, price=4.0)
+
+
+def make_job(procs=4, runtime=100.0, deadline=None, spec=None):
+    spec = spec or make_spec()
+    return Job(
+        origin=spec.name,
+        user_id=0,
+        submit_time=0.0,
+        num_processors=procs,
+        length_mi=runtime * spec.mips * procs,
+        deadline=deadline,
+    )
+
+
+@pytest.fixture()
+def controller():
+    sim = Simulator()
+    spec = make_spec()
+    lrms = SpaceSharedLRMS(sim, spec)
+    return sim, lrms, AdmissionController(lrms)
+
+
+class TestDecisions:
+    def test_idle_cluster_accepts_feasible_job(self, controller):
+        _, _, admission = controller
+        decision = admission.evaluate(make_job(runtime=100.0, deadline=500.0))
+        assert decision.accepted is True
+        assert decision.estimated_completion == pytest.approx(100.0)
+        assert admission.accepted == 1
+
+    def test_loaded_cluster_refuses_tight_deadline(self, controller):
+        _, lrms, admission = controller
+        lrms.submit(make_job(procs=16, runtime=1000.0))
+        decision = admission.evaluate(make_job(procs=16, runtime=100.0, deadline=200.0))
+        assert decision.accepted is False
+        assert decision.estimated_completion == pytest.approx(1100.0)
+        assert "deadline" in decision.reason
+
+    def test_oversized_job_refused_with_reason(self, controller):
+        _, _, admission = controller
+        big_spec = make_spec(procs=64)
+        decision = admission.evaluate(make_job(procs=32, spec=big_spec, deadline=1e9))
+        assert decision.accepted is False
+        assert decision.estimated_completion is None
+        assert "processors" in decision.reason
+
+    def test_job_without_deadline_always_admitted_if_it_fits(self, controller):
+        _, lrms, admission = controller
+        lrms.submit(make_job(procs=16, runtime=1000.0))
+        decision = admission.evaluate(make_job(procs=16, runtime=100.0, deadline=None))
+        assert decision.accepted is True
+
+    def test_statistics_accumulate(self, controller):
+        _, lrms, admission = controller
+        lrms.submit(make_job(procs=16, runtime=1000.0))
+        admission.evaluate(make_job(runtime=10.0, deadline=1e6))
+        admission.evaluate(make_job(procs=16, runtime=10.0, deadline=20.0))
+        assert admission.enquiries == 2
+        assert admission.accepted == 1
+        assert admission.refused == 1
+        assert admission.acceptance_ratio == pytest.approx(0.5)
+
+    def test_acceptance_ratio_with_no_enquiries(self, controller):
+        _, _, admission = controller
+        assert admission.acceptance_ratio == 0.0

@@ -1,0 +1,102 @@
+"""Tests for pricing policies (Eqs. 5-6 and the demand-driven extension)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.economy.pricing import (
+    DemandDrivenPricingPolicy,
+    StaticPricingPolicy,
+    quote_table,
+    utilisation_weighted_demand,
+)
+from repro.workload.archive import ARCHIVE_RESOURCES, build_federation_specs
+
+
+class TestStaticPricing:
+    def test_quotes_reproduce_table1(self):
+        """Eq. 5-6 with c=5.30, mu_max=930 reproduces the Table 1 quote column."""
+        policy = StaticPricingPolicy(access_price=5.30, max_mips=930.0)
+        expected = {r.name: r.quote for r in ARCHIVE_RESOURCES}
+        for resource in ARCHIVE_RESOURCES:
+            assert policy.price_for(resource.mips) == pytest.approx(expected[resource.name], abs=0.01)
+
+    def test_fastest_resource_pays_access_price(self):
+        policy = StaticPricingPolicy(access_price=5.30, max_mips=930.0)
+        assert policy.price_for(930.0) == pytest.approx(5.30)
+
+    def test_price_scales_linearly_with_speed(self):
+        policy = StaticPricingPolicy()
+        assert policy.price_for(465.0) == pytest.approx(policy.price_for(930.0) / 2)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            StaticPricingPolicy(access_price=0.0)
+        with pytest.raises(ValueError):
+            StaticPricingPolicy(max_mips=-1.0)
+        with pytest.raises(ValueError):
+            StaticPricingPolicy().price_for(0.0)
+
+    def test_quote_table_covers_all_specs(self):
+        specs = build_federation_specs()
+        table = quote_table(specs)
+        assert set(table) == {s.name for s in specs}
+        assert table["NASA iPSC"] == pytest.approx(5.30, abs=0.01)
+
+    @given(mips=st.floats(min_value=1.0, max_value=5000.0))
+    @settings(max_examples=100, deadline=None)
+    def test_price_positive_and_monotone(self, mips):
+        policy = StaticPricingPolicy()
+        assert policy.price_for(mips) > 0
+        assert policy.price_for(mips * 2) > policy.price_for(mips)
+
+
+class TestDemandDrivenPricing:
+    def test_base_price_matches_static_policy(self):
+        policy = DemandDrivenPricingPolicy()
+        assert policy.price_for(930.0) == pytest.approx(StaticPricingPolicy().price_for(930.0))
+
+    def test_high_demand_raises_price_low_demand_lowers_it(self):
+        policy = DemandDrivenPricingPolicy(sensitivity=1.0, supply_target=0.5)
+        base = policy.price_for(900.0)
+        assert policy.adjusted_price(900.0, demand=1.0) > base
+        assert policy.adjusted_price(900.0, demand=0.0) < base
+        assert policy.adjusted_price(900.0, demand=0.5) == pytest.approx(base)
+
+    def test_price_clamped_to_bounds(self):
+        policy = DemandDrivenPricingPolicy(sensitivity=100.0, min_factor=0.5, max_factor=2.0)
+        base = policy.price_for(900.0)
+        assert policy.adjusted_price(900.0, 1.0) == pytest.approx(2.0 * base)
+        assert policy.adjusted_price(900.0, 0.0) == pytest.approx(0.5 * base)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            DemandDrivenPricingPolicy(sensitivity=-1.0)
+        with pytest.raises(ValueError):
+            DemandDrivenPricingPolicy(supply_target=2.0)
+        with pytest.raises(ValueError):
+            DemandDrivenPricingPolicy(min_factor=0.0)
+        with pytest.raises(ValueError):
+            DemandDrivenPricingPolicy().adjusted_price(900.0, demand=1.5)
+
+    @given(demand=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_adjusted_price_stays_within_clamp(self, demand):
+        policy = DemandDrivenPricingPolicy()
+        base = policy.price_for(700.0)
+        adjusted = policy.adjusted_price(700.0, demand)
+        assert policy.min_factor * base <= adjusted <= policy.max_factor * base
+
+
+class TestDemandNormalisation:
+    def test_counts_normalise_to_shares(self):
+        shares = utilisation_weighted_demand({"A": 30, "B": 70})
+        assert shares["A"] == pytest.approx(0.3)
+        assert shares["B"] == pytest.approx(0.7)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_zero_counts_give_zero_shares(self):
+        shares = utilisation_weighted_demand({"A": 0, "B": 0})
+        assert shares == {"A": 0.0, "B": 0.0}

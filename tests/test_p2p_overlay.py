@@ -1,0 +1,155 @@
+"""Tests for the indexable skip list overlay."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.p2p.overlay import OverlayError, SkipListIndex
+
+
+def make_index(seed=0):
+    return SkipListIndex(rng=np.random.default_rng(seed))
+
+
+class TestBasics:
+    def test_insert_and_search(self):
+        index = make_index()
+        index.insert(5.0, "five")
+        index.insert(1.0, "one")
+        index.insert(3.0, "three")
+        assert index.search(3.0) == "three"
+        assert index.search(99.0) is None
+        assert len(index) == 3
+        assert 1.0 in index
+        assert 2.0 not in index
+
+    def test_keys_are_sorted(self):
+        index = make_index()
+        for value in [7, 3, 9, 1, 5]:
+            index.insert(value, str(value))
+        assert index.keys() == [1, 3, 5, 7, 9]
+        assert list(dict(index.items()).values()) == ["1", "3", "5", "7", "9"]
+
+    def test_duplicate_key_rejected(self):
+        index = make_index()
+        index.insert(1.0, "a")
+        with pytest.raises(OverlayError):
+            index.insert(1.0, "b")
+
+    def test_remove(self):
+        index = make_index()
+        for value in [4, 2, 6]:
+            index.insert(value, str(value))
+        assert index.remove(2) == "2"
+        assert len(index) == 2
+        assert index.keys() == [4, 6]
+        with pytest.raises(OverlayError):
+            index.remove(2)
+
+    def test_invalid_probability(self):
+        with pytest.raises(OverlayError):
+            SkipListIndex(probability=1.0)
+        with pytest.raises(OverlayError):
+            SkipListIndex(probability=0.0)
+
+
+class TestRankQueries:
+    def test_kth_returns_sorted_positions(self):
+        index = make_index()
+        values = [50, 10, 40, 20, 30]
+        for v in values:
+            index.insert(v, f"v{v}")
+        for rank, expected in enumerate(sorted(values), start=1):
+            key, value = index.kth(rank)
+            assert key == expected
+            assert value == f"v{expected}"
+
+    def test_kth_out_of_range(self):
+        index = make_index()
+        index.insert(1, "a")
+        with pytest.raises(OverlayError):
+            index.kth(0)
+        with pytest.raises(OverlayError):
+            index.kth(2)
+
+    def test_rank_of_inverse_of_kth(self):
+        index = make_index()
+        for v in [5, 1, 9, 3, 7]:
+            index.insert(v, v)
+        for rank in range(1, 6):
+            key, _ = index.kth(rank)
+            assert index.rank_of(key) == rank
+
+    def test_rank_of_missing_key(self):
+        index = make_index()
+        index.insert(1, "a")
+        with pytest.raises(OverlayError):
+            index.rank_of(42)
+
+    def test_hop_accounting(self):
+        index = make_index()
+        for v in range(64):
+            index.insert(v, v)
+        index.kth(32)
+        assert index.last_hops >= 1
+        assert index.searches >= 1
+        assert index.total_hops >= index.last_hops
+        assert index.average_hops > 0
+
+    def test_search_hops_scale_logarithmically(self):
+        """Average search cost grows far slower than linearly with size."""
+        small, large = make_index(1), make_index(1)
+        for v in range(16):
+            small.insert(v, v)
+        for v in range(1024):
+            large.insert(v, v)
+        for v in range(16):
+            small.search(v)
+        for v in range(0, 1024, 64):
+            large.search(v)
+        # 64x more elements should cost nowhere near 64x more hops.
+        assert large.average_hops < 8 * max(small.average_hops, 1.0)
+        assert large.average_hops < 4 * math.log2(1024)
+
+
+class TestProperties:
+    @given(
+        operations=st.lists(
+            st.tuples(st.sampled_from(["insert", "remove"]), st.integers(min_value=0, max_value=50)),
+            max_size=120,
+        ),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_reference_sorted_dict(self, operations, seed):
+        """The overlay behaves exactly like a sorted dict under random ops."""
+        index = make_index(seed)
+        reference: dict[int, int] = {}
+        for op, key in operations:
+            if op == "insert":
+                if key in reference:
+                    with pytest.raises(OverlayError):
+                        index.insert(key, key)
+                else:
+                    index.insert(key, key)
+                    reference[key] = key
+            else:
+                if key in reference:
+                    assert index.remove(key) == key
+                    del reference[key]
+                else:
+                    with pytest.raises(OverlayError):
+                        index.remove(key)
+        assert len(index) == len(reference)
+        assert index.keys() == sorted(reference)
+        # kth agrees with the sorted reference at every rank.
+        for rank, expected_key in enumerate(sorted(reference), start=1):
+            key, value = index.kth(rank)
+            assert key == expected_key
+            assert value == reference[expected_key]
+            assert index.rank_of(expected_key) == rank

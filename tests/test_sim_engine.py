@@ -1,0 +1,232 @@
+"""Unit and property tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(3.0, fired.append, "middle")
+        sim.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_clock_advances_to_last_event(self):
+        sim = Simulator()
+        sim.schedule(2.5, lambda: None)
+        sim.schedule(7.25, lambda: None)
+        sim.run()
+        assert sim.now == pytest.approx(7.25)
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for label in "abcde":
+            sim.schedule(1.0, fired.append, label)
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_priority_breaks_ties_before_sequence(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "low", priority=5)
+        sim.schedule(1.0, fired.append, "high", priority=-5)
+        sim.run()
+        assert fired == ["high", "low"]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start_time=100.0)
+        fired = []
+        sim.schedule_at(150.0, fired.append, "x")
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == pytest.approx(150.0)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_past_absolute_time_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_non_finite_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(float("inf"), lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_non_callable_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(1.0, "not callable")  # type: ignore[arg-type]
+
+    def test_events_scheduled_during_run_are_executed(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n: int):
+            fired.append(n)
+            if n < 5:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+        assert sim.now == pytest.approx(5.0)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        sim.cancel(handle)
+        sim.run()
+        assert fired == []
+
+    def test_double_cancel_raises(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.cancel(handle)
+        with pytest.raises(SimulationError):
+            sim.cancel(handle)
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        sim.cancel(drop)
+        assert sim.pending == 1
+        assert len(sim) == 1
+        del keep
+
+
+class TestRunControl:
+    def test_run_until_stops_before_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == pytest.approx(5.0)
+        # The remaining event still fires on a subsequent run().
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_until_in_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=5.0)
+
+    def test_max_events_limits_execution(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, sim.stop)
+        sim.schedule(3.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a"]
+
+    def test_step_returns_false_on_empty_queue(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == pytest.approx(42.0)
+
+    def test_drain_yields_remaining_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        remaining = list(sim.drain())
+        assert [ev.time for ev in remaining] == [1.0, 2.0]
+        assert sim.pending == 0
+
+
+class TestTrace:
+    def test_trace_callback_invoked_per_event(self):
+        records = []
+        sim = Simulator(trace=lambda t, label: records.append((t, label)))
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert len(records) == 2
+        assert records[0][0] == pytest.approx(1.0)
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_firing_order_is_sorted_by_time(self, delays):
+        """Events always fire in non-decreasing time order (DES invariant)."""
+        sim = Simulator()
+        observed = []
+        for d in delays:
+            sim.schedule(d, lambda d=d: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0.0, max_value=1e5), st.integers(0, 1)),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cancelled_events_never_fire(self, items):
+        """No cancelled event is ever executed, and all others are."""
+        sim = Simulator()
+        fired = []
+        handles = []
+        for idx, (delay, cancel) in enumerate(items):
+            handles.append((sim.schedule(delay, fired.append, idx), bool(cancel)))
+        for handle, cancel in handles:
+            if cancel:
+                sim.cancel(handle)
+        sim.run()
+        expected = {idx for idx, (_, cancel) in enumerate(items) if not cancel}
+        assert set(fired) == expected
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_event_count_conservation(self, n):
+        """Every scheduled, non-cancelled event fires exactly once."""
+        sim = Simulator()
+        counter = {"fired": 0}
+        for i in range(n):
+            sim.schedule(float(i % 7), lambda: counter.__setitem__("fired", counter["fired"] + 1))
+        sim.run()
+        assert counter["fired"] == n
+        assert sim.events_processed == n

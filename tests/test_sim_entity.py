@@ -1,0 +1,122 @@
+"""Tests for entities, the registry and event delivery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Entity, EventType, Simulator, SimulationError
+from repro.sim.entity import EntityRegistry, RecordingEntity
+
+
+@pytest.fixture()
+def world():
+    sim = Simulator()
+    registry = EntityRegistry()
+    return sim, registry
+
+
+class EchoEntity(Entity):
+    """Replies to every event it receives with a TIMER event to the sender."""
+
+    def handle_event(self, event):
+        if event.source and event.source != self.name:
+            self.send(event.source, EventType.TIMER, payload="echo")
+
+
+class TestRegistry:
+    def test_register_and_lookup(self, world):
+        sim, registry = world
+        probe = RecordingEntity(sim, "probe", registry)
+        assert registry.lookup("probe") is probe
+        assert "probe" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_names_rejected(self, world):
+        sim, registry = world
+        RecordingEntity(sim, "gfa", registry)
+        with pytest.raises(SimulationError):
+            RecordingEntity(sim, "gfa", registry)
+
+    def test_unknown_lookup_raises(self, world):
+        _, registry = world
+        with pytest.raises(SimulationError):
+            registry.lookup("missing")
+
+    def test_iteration_yields_entities(self, world):
+        sim, registry = world
+        names = {"a", "b", "c"}
+        for name in sorted(names):
+            RecordingEntity(sim, name, registry)
+        assert {e.name for e in registry} == names
+
+
+class TestMessaging:
+    def test_send_delivers_event_with_delay(self, world):
+        sim, registry = world
+        sender = RecordingEntity(sim, "sender", registry)
+        receiver = RecordingEntity(sim, "receiver", registry)
+        sender.send("receiver", EventType.NEGOTIATE, payload={"job": 1}, delay=3.0)
+        sim.run()
+        assert len(receiver.received) == 1
+        event = receiver.received[0]
+        assert event.etype is EventType.NEGOTIATE
+        assert event.source == "sender"
+        assert event.payload == {"job": 1}
+        assert event.time == pytest.approx(3.0)
+
+    def test_send_to_unknown_entity_raises_at_send_time(self, world):
+        sim, registry = world
+        sender = RecordingEntity(sim, "sender", registry)
+        with pytest.raises(SimulationError):
+            sender.send("ghost", EventType.TIMER)
+
+    def test_self_timer(self, world):
+        sim, registry = world
+        probe = RecordingEntity(sim, "probe", registry)
+        probe.schedule(5.0, payload="tick")
+        sim.run()
+        assert probe.last().payload == "tick"
+        assert probe.last().time == pytest.approx(5.0)
+
+    def test_request_reply_round_trip(self, world):
+        sim, registry = world
+        echo = EchoEntity(sim, "echo", registry)
+        probe = RecordingEntity(sim, "probe", registry)
+        probe.send("echo", EventType.NEGOTIATE, delay=1.0)
+        sim.run()
+        assert len(probe.received) == 1
+        assert probe.received[0].payload == "echo"
+        assert probe.received[0].source == "echo"
+        del echo
+
+    def test_event_ids_are_unique_and_increasing(self, world):
+        sim, registry = world
+        sender = RecordingEntity(sim, "sender", registry)
+        receiver = RecordingEntity(sim, "receiver", registry)
+        events = [sender.send("receiver", EventType.TIMER, delay=float(i)) for i in range(5)]
+        ids = [e.event_id for e in events]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+        sim.run()
+        assert len(receiver.received) == 5
+
+    def test_base_entity_requires_handler_override(self, world):
+        sim, registry = world
+        plain = Entity(sim, "plain", registry)
+        probe = RecordingEntity(sim, "probe", registry)
+        probe.send("plain", EventType.TIMER)
+        with pytest.raises(NotImplementedError):
+            sim.run()
+        del plain
+
+    def test_events_of_filters_by_type(self, world):
+        sim, registry = world
+        sender = RecordingEntity(sim, "sender", registry)
+        receiver = RecordingEntity(sim, "receiver", registry)
+        sender.send("receiver", EventType.NEGOTIATE)
+        sender.send("receiver", EventType.REPLY)
+        sender.send("receiver", EventType.NEGOTIATE)
+        sim.run()
+        assert len(receiver.events_of(EventType.NEGOTIATE)) == 2
+        assert len(receiver.events_of(EventType.REPLY)) == 1
+        assert len(receiver.events_of(EventType.JOB_SUBMIT)) == 0

@@ -1,0 +1,92 @@
+"""Tests for the coroutine-style process helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Process, Simulator, SimulationError, Timeout
+
+
+class TestProcess:
+    def test_process_advances_clock_between_yields(self):
+        sim = Simulator()
+        times = []
+
+        def proc():
+            for _ in range(3):
+                times.append(sim.now)
+                yield Timeout(10.0)
+
+        Process(sim, proc())
+        sim.run()
+        assert times == [0.0, 10.0, 20.0]
+        assert sim.now == pytest.approx(30.0)
+
+    def test_on_finish_callback(self):
+        sim = Simulator()
+        done = []
+
+        def proc():
+            yield Timeout(1.0)
+
+        Process(sim, proc(), on_finish=lambda: done.append(True))
+        sim.run()
+        assert done == [True]
+
+    def test_finished_flag_and_steps(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            yield Timeout(2.0)
+
+        p = Process(sim, proc())
+        assert p.finished is False
+        sim.run()
+        assert p.finished is True
+        # Two yields plus the final resume that raises StopIteration.
+        assert p.steps == 3
+
+    def test_invalid_yield_type_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not a timeout"
+
+        Process(sim, proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        order = []
+
+        def proc(name, period):
+            for _ in range(2):
+                order.append((name, sim.now))
+                yield Timeout(period)
+
+        Process(sim, proc("fast", 1.0))
+        Process(sim, proc("slow", 3.0))
+        sim.run()
+        assert order == [
+            ("fast", 0.0),
+            ("slow", 0.0),
+            ("fast", 1.0),
+            ("slow", 3.0),
+        ]
+
+    def test_empty_generator_finishes_immediately(self):
+        sim = Simulator()
+
+        def proc():
+            return
+            yield  # pragma: no cover
+
+        p = Process(sim, proc())
+        sim.run()
+        assert p.finished is True

@@ -1,0 +1,72 @@
+"""Tests for the deterministic random-stream factory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RandomStreams
+
+
+class TestDeterminism:
+    def test_same_seed_same_key_gives_identical_draws(self):
+        a = RandomStreams(123).get("arrivals/CTC")
+        b = RandomStreams(123).get("arrivals/CTC")
+        assert np.allclose(a.random(16), b.random(16))
+
+    def test_different_keys_give_different_streams(self):
+        streams = RandomStreams(123)
+        a = streams.get("arrivals/CTC").random(16)
+        b = streams.get("arrivals/KTH").random(16)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_give_different_streams(self):
+        a = RandomStreams(1).get("x").random(16)
+        b = RandomStreams(2).get("x").random(16)
+        assert not np.allclose(a, b)
+
+    def test_stream_is_memoised(self):
+        streams = RandomStreams(5)
+        assert streams.get("k") is streams.get("k")
+
+    def test_child_seed_is_pure_function(self):
+        assert RandomStreams(7).child_seed("abc") == RandomStreams(7).child_seed("abc")
+        assert RandomStreams(7).child_seed("abc") != RandomStreams(8).child_seed("abc")
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RandomStreams("not a seed")  # type: ignore[arg-type]
+
+    def test_spawn_returns_all_keys(self):
+        streams = RandomStreams(0)
+        spawned = streams.spawn(["a", "b", "c"])
+        assert set(spawned) == {"a", "b", "c"}
+        assert spawned["a"] is streams.get("a")
+
+    def test_fork_produces_independent_factory(self):
+        root = RandomStreams(99)
+        fork1 = root.fork(1)
+        fork2 = root.fork(2)
+        assert fork1.seed != fork2.seed
+        a = fork1.get("x").random(8)
+        b = fork2.get("x").random(8)
+        assert not np.allclose(a, b)
+        # Forking is deterministic too.
+        assert np.allclose(a, RandomStreams(99).fork(1).get("x").random(8))
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_child_seed_in_valid_range(self, seed, key):
+        cs = RandomStreams(seed).child_seed(key)
+        assert 0 <= cs < 2**63 - 1
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_streams_reproducible_for_any_seed(self, seed):
+        draws1 = RandomStreams(seed).get("workload").normal(size=8)
+        draws2 = RandomStreams(seed).get("workload").normal(size=8)
+        assert np.allclose(draws1, draws2)

@@ -1,0 +1,201 @@
+"""Tests for the synthetic workload generator and archive calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RandomStreams
+from repro.workload.archive import (
+    ARCHIVE_RESOURCES,
+    TWO_DAYS,
+    archive_by_name,
+    build_federation_specs,
+    build_workload,
+    combined_workload,
+    replicate_resources,
+)
+from repro.workload.generator import (
+    SyntheticTraceGenerator,
+    WorkloadParameters,
+    merge_workloads,
+)
+
+
+def make_params(**overrides) -> WorkloadParameters:
+    defaults = dict(
+        resource_name="test",
+        num_jobs=200,
+        horizon=TWO_DAYS,
+        offered_load=0.6,
+        max_processors=128,
+        mips=900.0,
+        bandwidth_gbps=2.0,
+    )
+    defaults.update(overrides)
+    return WorkloadParameters(**defaults)
+
+
+class TestWorkloadParameters:
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("num_jobs", 0),
+            ("horizon", 0.0),
+            ("offered_load", 0.0),
+            ("max_processors", 0),
+            ("comm_fraction", 1.0),
+            ("comm_fraction", -0.1),
+            ("num_users", 0),
+            ("serial_fraction", 1.5),
+            ("day_fraction", -0.2),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            make_params(**{field: value})
+
+
+class TestGenerator:
+    def test_generates_requested_number_of_jobs(self):
+        gen = SyntheticTraceGenerator(make_params(num_jobs=123), np.random.default_rng(0))
+        jobs = gen.generate()
+        assert len(jobs) == 123
+
+    def test_jobs_sorted_by_submit_time_within_horizon(self):
+        params = make_params()
+        jobs = SyntheticTraceGenerator(params, np.random.default_rng(0)).generate()
+        times = [j.submit_time for j in jobs]
+        assert times == sorted(times)
+        assert all(0.0 <= t < params.horizon for t in times)
+
+    def test_processor_counts_within_cluster_size(self):
+        params = make_params(max_processors=64)
+        jobs = SyntheticTraceGenerator(params, np.random.default_rng(1)).generate()
+        assert all(1 <= j.num_processors <= 64 for j in jobs)
+
+    def test_offered_load_calibration(self):
+        """Total requested node-seconds matches offered_load within sampling noise."""
+        params = make_params(offered_load=0.7, num_jobs=400)
+        jobs = SyntheticTraceGenerator(params, np.random.default_rng(2)).generate()
+        node_seconds = sum(
+            (j.length_mi / (params.mips * j.num_processors) + j.comm_data_gb / params.bandwidth_gbps)
+            * j.num_processors
+            for j in jobs
+        )
+        target = params.offered_load * params.max_processors * params.horizon
+        # Rescaling is applied to the compute+comm total, so the match is tight
+        # up to the per-job one-second floor.
+        assert node_seconds == pytest.approx(target, rel=0.05)
+
+    def test_comm_share_is_ten_percent_of_origin_runtime(self):
+        params = make_params(comm_fraction=0.1)
+        jobs = SyntheticTraceGenerator(params, np.random.default_rng(3)).generate()
+        for job in jobs[:50]:
+            compute = job.length_mi / (params.mips * job.num_processors)
+            comm = job.comm_data_gb / params.bandwidth_gbps
+            total = compute + comm
+            assert comm == pytest.approx(0.1 * total, rel=1e-6)
+
+    def test_determinism_given_same_rng_seed(self):
+        params = make_params()
+        a = SyntheticTraceGenerator(params, np.random.default_rng(42)).generate()
+        b = SyntheticTraceGenerator(params, np.random.default_rng(42)).generate()
+        assert [(j.submit_time, j.num_processors, j.length_mi) for j in a] == [
+            (j.submit_time, j.num_processors, j.length_mi) for j in b
+        ]
+
+    def test_user_ids_within_population(self):
+        params = make_params(num_users=7)
+        jobs = SyntheticTraceGenerator(params, np.random.default_rng(4)).generate()
+        assert all(0 <= j.user_id < 7 for j in jobs)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_every_job_is_valid_for_any_seed(self, seed):
+        params = make_params(num_jobs=50)
+        jobs = SyntheticTraceGenerator(params, np.random.default_rng(seed)).generate()
+        for job in jobs:
+            assert job.length_mi > 0
+            assert job.comm_data_gb >= 0
+            assert 1 <= job.num_processors <= params.max_processors
+            assert 0 <= job.submit_time < params.horizon
+
+
+class TestMerge:
+    def test_merge_sorts_by_submit_time(self):
+        a = SyntheticTraceGenerator(make_params(resource_name="A"), np.random.default_rng(0)).generate()
+        b = SyntheticTraceGenerator(make_params(resource_name="B"), np.random.default_rng(1)).generate()
+        merged = merge_workloads([a, b])
+        assert len(merged) == len(a) + len(b)
+        times = [j.submit_time for j in merged]
+        assert times == sorted(times)
+
+
+class TestArchive:
+    def test_eight_resources_match_table1(self):
+        assert len(ARCHIVE_RESOURCES) == 8
+        by_name = archive_by_name()
+        assert by_name["CTC SP2"].processors == 512
+        assert by_name["LANL Origin"].processors == 2048
+        assert by_name["NASA iPSC"].mips == pytest.approx(930.0)
+        assert by_name["SDSC SP2"].quote == pytest.approx(5.24)
+        assert by_name["LANL CM5"].bandwidth_gbps == pytest.approx(1.0)
+
+    def test_two_day_job_counts_match_table2(self):
+        counts = {r.name: r.two_day_jobs for r in ARCHIVE_RESOURCES}
+        assert counts == {
+            "CTC SP2": 417,
+            "KTH SP2": 163,
+            "LANL CM5": 215,
+            "LANL Origin": 817,
+            "NASA iPSC": 535,
+            "SDSC Par96": 189,
+            "SDSC Blue": 215,
+            "SDSC SP2": 111,
+        }
+
+    def test_build_federation_specs(self):
+        specs = build_federation_specs()
+        assert len(specs) == 8
+        names = [s.name for s in specs]
+        assert names[0] == "CTC SP2"
+        assert all(s.price > 0 for s in specs)
+
+    def test_build_workload_counts_and_origins(self):
+        workload = build_workload(RandomStreams(7))
+        assert set(workload) == {r.name for r in ARCHIVE_RESOURCES}
+        for res in ARCHIVE_RESOURCES:
+            jobs = workload[res.name]
+            assert len(jobs) == res.two_day_jobs
+            assert all(j.origin == res.name for j in jobs)
+            assert all(j.num_processors <= res.processors for j in jobs)
+
+    def test_build_workload_is_reproducible(self):
+        a = build_workload(RandomStreams(3))["KTH SP2"]
+        b = build_workload(RandomStreams(3))["KTH SP2"]
+        assert [(j.submit_time, j.length_mi) for j in a] == [(j.submit_time, j.length_mi) for j in b]
+
+    def test_combined_workload_is_sorted(self):
+        workload = build_workload(RandomStreams(1))
+        combined = combined_workload(workload)
+        assert len(combined) == sum(len(v) for v in workload.values())
+        times = [j.submit_time for j in combined]
+        assert times == sorted(times)
+
+    def test_replicate_resources_for_scalability_experiment(self):
+        replicated = replicate_resources(20)
+        assert len(replicated) == 20
+        names = [r.name for r in replicated]
+        assert len(set(names)) == 20  # unique names
+        assert names[:8] == [r.name for r in ARCHIVE_RESOURCES]
+        assert names[8].startswith("CTC SP2 #2")
+        # Replicas preserve capacity and pricing of their template.
+        assert replicated[8].processors == replicated[0].processors
+        assert replicated[8].quote == replicated[0].quote
+
+    def test_replicate_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            replicate_resources(0)

@@ -1,0 +1,132 @@
+"""Tests for the Job model and its life-cycle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.job import Job, JobStatus, QoSStrategy, reset_job_counter
+
+
+def make_job(**overrides) -> Job:
+    defaults = dict(
+        origin="CTC SP2",
+        user_id=3,
+        submit_time=100.0,
+        num_processors=8,
+        length_mi=1e6,
+        comm_data_gb=5.0,
+    )
+    defaults.update(overrides)
+    return Job(**defaults)
+
+
+class TestValidation:
+    def test_valid_job(self):
+        job = make_job()
+        assert job.status is JobStatus.CREATED
+        assert job.strategy is QoSStrategy.NONE
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("num_processors", 0),
+            ("length_mi", 0.0),
+            ("length_mi", -5.0),
+            ("comm_data_gb", -1.0),
+            ("submit_time", -1.0),
+            ("budget", -10.0),
+            ("deadline", 0.0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            make_job(**{field: value})
+
+    def test_job_ids_unique_and_increasing(self):
+        a, b = make_job(), make_job()
+        assert b.job_id > a.job_id
+
+    def test_reset_job_counter(self):
+        reset_job_counter()
+        assert make_job().job_id == 1
+
+
+class TestDerivedQuantities:
+    def test_absolute_deadline(self):
+        job = make_job(submit_time=100.0, deadline=50.0)
+        assert job.absolute_deadline == pytest.approx(150.0)
+        assert make_job().absolute_deadline is None
+
+    def test_response_and_waiting_time(self):
+        job = make_job(submit_time=100.0)
+        assert job.response_time is None
+        assert job.waiting_time is None
+        job.mark_running(130.0)
+        job.mark_completed(180.0)
+        assert job.waiting_time == pytest.approx(30.0)
+        assert job.response_time == pytest.approx(80.0)
+
+    def test_migration_flag(self):
+        job = make_job(origin="CTC SP2")
+        job.mark_queued("CTC SP2")
+        assert job.was_migrated is False
+        job.mark_queued("KTH SP2")
+        assert job.was_migrated is True
+
+    def test_qos_satisfied_requires_completion(self):
+        job = make_job(deadline=1000.0, budget=100.0)
+        assert job.qos_satisfied is False
+        job.mark_running(110.0)
+        job.mark_completed(200.0, cost=50.0)
+        assert job.qos_satisfied is True
+
+    def test_qos_violated_by_deadline(self):
+        job = make_job(submit_time=0.0, deadline=100.0)
+        job.mark_running(10.0)
+        job.mark_completed(200.0)
+        assert job.qos_satisfied is False
+
+    def test_qos_violated_by_budget(self):
+        job = make_job(submit_time=0.0, deadline=1000.0, budget=10.0)
+        job.mark_running(1.0)
+        job.mark_completed(50.0, cost=25.0)
+        assert job.qos_satisfied is False
+
+
+class TestLifeCycle:
+    def test_full_life_cycle(self):
+        job = make_job()
+        job.mark_queued("KTH SP2")
+        assert job.status is JobStatus.QUEUED
+        assert job.executed_on == "KTH SP2"
+        job.mark_running(120.0)
+        assert job.status is JobStatus.RUNNING
+        job.mark_completed(150.0, cost=12.0)
+        assert job.status is JobStatus.COMPLETED
+        assert job.cost_paid == pytest.approx(12.0)
+
+    def test_rejection_clears_placement(self):
+        job = make_job()
+        job.mark_queued("KTH SP2")
+        job.mark_rejected()
+        assert job.status is JobStatus.REJECTED
+        assert job.executed_on is None
+        assert job.was_migrated is False
+
+
+class TestProperties:
+    @given(
+        submit=st.floats(min_value=0.0, max_value=1e6),
+        start_delay=st.floats(min_value=0.0, max_value=1e5),
+        run=st.floats(min_value=0.1, max_value=1e5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_response_time_is_wait_plus_run(self, submit, start_delay, run):
+        job = make_job(submit_time=submit)
+        job.mark_running(submit + start_delay)
+        job.mark_completed(submit + start_delay + run)
+        assert job.response_time == pytest.approx(start_delay + run, rel=1e-9, abs=1e-6)
+        assert job.waiting_time == pytest.approx(start_delay, rel=1e-9, abs=1e-6)
+        assert job.response_time >= job.waiting_time

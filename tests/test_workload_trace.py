@@ -1,0 +1,119 @@
+"""Tests for SWF trace reading, writing and conversion to jobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.specs import ResourceSpec, execution_time
+from repro.workload.trace import (
+    SWFField,
+    SWFParseError,
+    SWFRecord,
+    jobs_from_swf,
+    read_swf,
+    write_swf,
+)
+
+
+def make_records():
+    return [
+        SWFRecord(job_number=1, submit_time=0.0, wait_time=5.0, run_time=100.0, processors=4, user_id=1, status=1),
+        SWFRecord(job_number=2, submit_time=60.0, wait_time=0.0, run_time=50.0, processors=1, user_id=2, status=1),
+        SWFRecord(job_number=3, submit_time=120.0, wait_time=10.0, run_time=200.0, processors=16, user_id=1, status=1),
+    ]
+
+
+def spec(procs=32):
+    return ResourceSpec(name="KTH SP2", num_processors=procs, mips=900.0, bandwidth_gbps=1.6, price=5.12)
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_fields(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        records = make_records()
+        write_swf(path, records, header="synthetic test trace")
+        loaded = read_swf(path)
+        assert len(loaded) == len(records)
+        for original, parsed in zip(records, loaded):
+            assert parsed.job_number == original.job_number
+            assert parsed.submit_time == pytest.approx(original.submit_time)
+            assert parsed.run_time == pytest.approx(original.run_time)
+            assert parsed.processors == original.processors
+            assert parsed.user_id == original.user_id
+
+    def test_comment_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        write_swf(path, make_records(), header="line one\nline two")
+        text = path.read_text()
+        assert text.startswith("; line one")
+        assert len(read_swf(path)) == 3
+
+    def test_windowing_by_submit_time_and_count(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        write_swf(path, make_records())
+        assert len(read_swf(path, max_submit_time=100.0)) == 2
+        assert len(read_swf(path, max_jobs=1)) == 1
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.swf"
+        path.write_text("1 2 3\n")
+        with pytest.raises(SWFParseError):
+            read_swf(path)
+
+    def test_non_numeric_field_raises(self, tmp_path):
+        path = tmp_path / "bad.swf"
+        path.write_text(" ".join(["x"] * 18) + "\n")
+        with pytest.raises(SWFParseError):
+            read_swf(path)
+
+    def test_invalid_records_are_dropped_on_read(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        records = make_records() + [
+            SWFRecord(job_number=4, submit_time=10.0, wait_time=0.0, run_time=-1.0, processors=4, user_id=0, status=0),
+            SWFRecord(job_number=5, submit_time=10.0, wait_time=0.0, run_time=10.0, processors=0, user_id=0, status=0),
+        ]
+        write_swf(path, records)
+        assert len(read_swf(path)) == 3
+
+
+class TestJobsFromSWF:
+    def test_conversion_preserves_runtime_on_origin(self):
+        """The converted job's execution time on its origin equals the SWF runtime."""
+        records = make_records()
+        jobs = jobs_from_swf(records, spec())
+        assert len(jobs) == 3
+        for rec, job in zip(sorted(records, key=lambda r: r.submit_time), jobs):
+            assert execution_time(job, spec()) == pytest.approx(rec.run_time)
+            assert job.origin == "KTH SP2"
+
+    def test_comm_fraction_split(self):
+        records = make_records()[:1]
+        jobs = jobs_from_swf(records, spec(), comm_fraction=0.25)
+        job = jobs[0]
+        compute = job.length_mi / (900.0 * job.num_processors)
+        comm = job.comm_data_gb / 1.6
+        assert comm == pytest.approx(0.25 * (compute + comm))
+
+    def test_oversized_requests_are_clamped(self):
+        records = [
+            SWFRecord(job_number=1, submit_time=0.0, wait_time=0.0, run_time=10.0, processors=64, user_id=0, status=1)
+        ]
+        jobs = jobs_from_swf(records, spec(procs=32))
+        assert jobs[0].num_processors == 32
+
+    def test_invalid_comm_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            jobs_from_swf(make_records(), spec(), comm_fraction=1.0)
+
+    def test_negative_user_ids_mapped_to_zero(self):
+        records = [
+            SWFRecord(job_number=1, submit_time=0.0, wait_time=0.0, run_time=10.0, processors=2, user_id=-1, status=1)
+        ]
+        jobs = jobs_from_swf(records, spec())
+        assert jobs[0].user_id == 0
+
+    def test_swf_field_enum_positions(self):
+        assert SWFField.SUBMIT_TIME == 1
+        assert SWFField.RUN_TIME == 3
+        assert SWFField.ALLOCATED_PROCESSORS == 4
+        assert SWFField.USER_ID == 11
