@@ -15,8 +15,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import run_experiment_1, run_experiment_2, run_experiment_3
-from repro.experiments.exp5_scalability import run_experiment_5
+from repro.experiments import economy_sweep, experiment_1_scenario, experiment_2_scenario
+from repro.experiments.exp5_scalability import scalability_sweep
+from repro.scenario import run_scenario
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ so ``-m "not benchmarks"`` skips it."""
+    for item in items:
+        if "benchmarks" in item.nodeid.split("::", 1)[0]:
+            item.add_marker(pytest.mark.benchmarks)
 
 #: Benchmark-scale knobs (kept in one place so every figure uses the same run).
 #: Experiments 1 and 2 are cheap and run at full scale; the economy sweep keeps
@@ -33,25 +41,25 @@ BENCH_SCALABILITY_THIN = 8
 @pytest.fixture(scope="session")
 def bench_independent():
     """Experiment 1 at benchmark scale (Table 2 / Fig. 2 baseline)."""
-    return run_experiment_1(seed=BENCH_SEED, thin=BENCH_TABLE_THIN)
+    return run_scenario(experiment_1_scenario(seed=BENCH_SEED, thin=BENCH_TABLE_THIN))
 
 
 @pytest.fixture(scope="session")
 def bench_federation():
     """Experiment 2 at benchmark scale (Table 3 / Fig. 2)."""
-    return run_experiment_2(seed=BENCH_SEED, thin=BENCH_TABLE_THIN)
+    return run_scenario(experiment_2_scenario(seed=BENCH_SEED, thin=BENCH_TABLE_THIN))
 
 
 @pytest.fixture(scope="session")
 def bench_sweep():
     """Experiment 3/4 population-profile sweep at benchmark scale (Figs. 3-9)."""
-    return run_experiment_3(profiles=BENCH_PROFILES, seed=BENCH_SEED, thin=BENCH_THIN)
+    return economy_sweep(profiles=BENCH_PROFILES, seed=BENCH_SEED, thin=BENCH_THIN)
 
 
 @pytest.fixture(scope="session")
 def bench_scalability():
     """Experiment 5 scalability sweep at benchmark scale (Figs. 10-11)."""
-    return run_experiment_5(
+    return scalability_sweep(
         system_sizes=BENCH_SIZES,
         profiles=BENCH_SCALABILITY_PROFILES,
         seed=BENCH_SEED,

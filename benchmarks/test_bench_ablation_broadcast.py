@@ -11,9 +11,9 @@ from __future__ import annotations
 
 from _shared import print_processing_table
 
-from repro.baselines import run_broadcast_federation
-from repro.core import FederationConfig, SharingMode, run_federation
+from repro.core import FederationConfig, SharingMode
 from repro.experiments.common import default_specs, default_workload
+from repro.scenario import run_scenario, scenario_from_config
 from repro.metrics.report import render_table
 
 
@@ -21,9 +21,15 @@ def test_bench_ablation_broadcast(benchmark):
     specs = default_specs()
     config = FederationConfig(mode=SharingMode.ECONOMY, oft_fraction=0.3, seed=42)
 
-    ranked = run_federation(specs, default_workload(seed=42, thin=4), config)
+    ranked = run_scenario(
+        scenario_from_config(config), specs=specs, workload=default_workload(seed=42, thin=4)
+    )
     broadcast = benchmark.pedantic(
-        lambda: run_broadcast_federation(specs, default_workload(seed=42, thin=4), config),
+        lambda: run_scenario(
+            scenario_from_config(config, agent="broadcast"),
+            specs=specs,
+            workload=default_workload(seed=42, thin=4),
+        ),
         rounds=1,
         iterations=1,
     )

@@ -9,9 +9,9 @@ messages saved against the load updates spent.
 
 from __future__ import annotations
 
-from repro.core import FederationConfig, SharingMode, run_federation
+from repro.core import FederationConfig, SharingMode
 from repro.experiments.common import default_specs, default_workload
-from repro.extensions import run_coordinated_federation
+from repro.scenario import run_scenario, scenario_from_config
 from repro.metrics.report import render_table
 
 
@@ -19,9 +19,15 @@ def test_bench_ablation_coordination(benchmark):
     specs = default_specs()
     config = FederationConfig(mode=SharingMode.ECONOMY, oft_fraction=0.3, seed=42)
 
-    base = run_federation(specs, default_workload(seed=42, thin=8), config)
+    base = run_scenario(
+        scenario_from_config(config), specs=specs, workload=default_workload(seed=42, thin=8)
+    )
     coordinated = benchmark.pedantic(
-        lambda: run_coordinated_federation(specs, default_workload(seed=42, thin=8), config),
+        lambda: run_scenario(
+            scenario_from_config(config, agent="coordinated"),
+            specs=specs,
+            workload=default_workload(seed=42, thin=8),
+        ),
         rounds=1,
         iterations=1,
     )

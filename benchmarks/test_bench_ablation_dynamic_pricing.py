@@ -9,11 +9,12 @@ rejections when prices spike.
 
 from __future__ import annotations
 
-from repro.core import FederationConfig, SharingMode, run_federation
+from repro.core import FederationConfig, SharingMode
 from repro.economy.pricing import DemandDrivenPricingPolicy
 from repro.experiments.common import default_specs, default_workload
 from repro.extensions.dynamic_pricing import DynamicPricingFederation
 from repro.metrics.collectors import incentive_by_resource
+from repro.scenario import run_scenario, scenario_from_config
 from repro.metrics.report import render_table
 
 
@@ -32,7 +33,9 @@ def test_bench_ablation_dynamic_pricing(benchmark):
     specs = default_specs()
     config = FederationConfig(mode=SharingMode.ECONOMY, oft_fraction=0.3, seed=42)
 
-    static = run_federation(specs, default_workload(seed=42, thin=8), config)
+    static = run_scenario(
+        scenario_from_config(config), specs=specs, workload=default_workload(seed=42, thin=8)
+    )
 
     def run_dynamic():
         federation = DynamicPricingFederation(

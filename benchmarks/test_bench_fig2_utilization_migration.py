@@ -9,13 +9,16 @@ CTC SP2 from 53.49 % to 87.15 %.
 
 from __future__ import annotations
 
-from repro.experiments import run_experiment_2
+from repro.experiments import experiment_2_scenario
+from repro.scenario import run_scenario
 from repro.metrics.collectors import job_migration_counts
 from repro.metrics.report import render_table
 
 
 def test_bench_fig2_utilization_and_migration(benchmark, bench_independent, bench_federation):
-    benchmark.pedantic(lambda: run_experiment_2(seed=42, thin=12), rounds=1, iterations=1)
+    benchmark.pedantic(
+        lambda: run_scenario(experiment_2_scenario(seed=42, thin=12)), rounds=1, iterations=1
+    )
 
     ind, fed = bench_independent, bench_federation
     rows_a = [

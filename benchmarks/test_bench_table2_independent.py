@@ -10,12 +10,15 @@ from __future__ import annotations
 
 from _shared import print_processing_table
 
-from repro.experiments import run_experiment_1
+from repro.experiments import experiment_1_scenario
+from repro.scenario import run_scenario
 from repro.metrics.collectors import average_acceptance_rate
 
 
 def test_bench_table2_independent(benchmark, bench_independent):
-    benchmark.pedantic(lambda: run_experiment_1(seed=42, thin=12), rounds=1, iterations=1)
+    benchmark.pedantic(
+        lambda: run_scenario(experiment_1_scenario(seed=42, thin=12)), rounds=1, iterations=1
+    )
 
     result = bench_independent
     print_processing_table(result, "Table 2 — workload processing statistics (without federation)")

@@ -9,12 +9,15 @@ from __future__ import annotations
 
 from _shared import print_processing_table
 
-from repro.experiments import run_experiment_2
+from repro.experiments import experiment_2_scenario
+from repro.scenario import run_scenario
 from repro.metrics.collectors import average_acceptance_rate
 
 
 def test_bench_table3_federation(benchmark, bench_independent, bench_federation):
-    benchmark.pedantic(lambda: run_experiment_2(seed=42, thin=12), rounds=1, iterations=1)
+    benchmark.pedantic(
+        lambda: run_scenario(experiment_2_scenario(seed=42, thin=12)), rounds=1, iterations=1
+    )
 
     result = bench_federation
     print_processing_table(result, "Table 3 — workload processing statistics (with federation)")

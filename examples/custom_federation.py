@@ -23,8 +23,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import FederationConfig, ResourceSpec, SharingMode, StaticPricingPolicy, run_federation
-from repro.extensions import run_coordinated_federation, run_with_dynamic_pricing
+from repro import (
+    FederationConfig,
+    ResourceSpec,
+    SharingMode,
+    StaticPricingPolicy,
+    run_scenario,
+    scenario_from_config,
+)
 from repro.extensions.dynamic_pricing import DynamicPricingFederation
 from repro.economy.pricing import DemandDrivenPricingPolicy
 from repro.metrics.collectors import average_acceptance_rate, per_job_message_stats
@@ -78,15 +84,21 @@ def main() -> None:
     config = FederationConfig(mode=SharingMode.ECONOMY, oft_fraction=0.3, seed=7, horizon=12 * 3600.0)
 
     rows = []
+    # Variants are registry keys: the same explicit specs/workload run under
+    # different agents and pricing policies by changing one string.
     runs = {
-        "economy (static quotes)": lambda: run_federation(specs, build_workload(specs), config),
-        "coordinated (load reports)": lambda: run_coordinated_federation(specs, build_workload(specs), config),
-        "dynamic pricing": lambda: run_with_dynamic_pricing(
-            specs,
-            build_workload(specs),
-            config,
-            pricing_policy=DemandDrivenPricingPolicy(sensitivity=1.0),
-            repricing_interval=3600.0,
+        "economy (static quotes)": lambda: run_scenario(
+            scenario_from_config(config), specs=specs, workload=build_workload(specs)
+        ),
+        "coordinated (load reports)": lambda: run_scenario(
+            scenario_from_config(config, agent="coordinated"),
+            specs=specs,
+            workload=build_workload(specs),
+        ),
+        "dynamic pricing": lambda: run_scenario(
+            scenario_from_config(config, pricing="demand", repricing_interval=3600.0),
+            specs=specs,
+            workload=build_workload(specs),
         ),
     }
     for label, runner in runs.items():

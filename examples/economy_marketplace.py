@@ -19,7 +19,7 @@ Run it with::
 
 from __future__ import annotations
 
-from repro.experiments import run_experiment_3
+from repro.experiments import economy_sweep
 from repro.metrics.collectors import (
     federation_wide_qos,
     incentive_by_resource,
@@ -30,8 +30,9 @@ from repro.metrics.report import render_table
 
 def main() -> None:
     profiles = (0, 30, 70, 100)
-    # Every 3rd job of the calibrated workload keeps the sweep around a minute.
-    sweep = run_experiment_3(profiles=profiles, seed=42, thin=3)
+    # Every 3rd job of the calibrated workload keeps the sweep around a minute;
+    # workers=2 runs the profiles across two processes (identical results).
+    sweep = economy_sweep(profiles=profiles, seed=42, thin=3, workers=2)
 
     incentive_rows = []
     summary_rows = []

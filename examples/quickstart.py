@@ -17,15 +17,7 @@ Run it with::
 
 from __future__ import annotations
 
-from repro import (
-    FederationConfig,
-    RandomStreams,
-    SharingMode,
-    build_federation_specs,
-    build_workload,
-    run_federation,
-)
-from repro.experiments.common import thin_workload
+from repro import Scenario, run_scenario
 from repro.metrics.collectors import (
     incentive_by_resource,
     per_job_message_stats,
@@ -35,16 +27,11 @@ from repro.metrics.report import render_table
 
 
 def main() -> None:
-    # 1. The federation: eight clusters with the paper's capacities and quotes.
-    specs = build_federation_specs()
-
-    # 2. The workload: calibrated synthetic traces (every 2nd job to keep the
-    #    example snappy; drop `thin_workload` for the full two-day run).
-    workload = thin_workload(build_workload(RandomStreams(seed=42)), thin=2)
-
-    # 3. Run the economy scheduler with a 70 % OFC / 30 % OFT user population.
-    config = FederationConfig(mode=SharingMode.ECONOMY, oft_fraction=0.3, seed=42)
-    result = run_federation(specs, workload, config)
+    # One declarative scenario covers steps 1-3: the Table 1 federation, the
+    # calibrated synthetic workload (every 2nd job to keep the example snappy;
+    # thin=1 for the full two-day run) and the DBC economy scheduler with a
+    # 70 % OFC / 30 % OFT user population.
+    result = run_scenario(Scenario(mode="economy", oft_fraction=0.3, seed=42, thin=2))
 
     # 4. Report.
     rows = [

@@ -13,17 +13,18 @@ Run it with::
 
 from __future__ import annotations
 
-from repro.experiments.exp5_scalability import run_experiment_5, scalability_rows
+from repro.experiments.exp5_scalability import scalability_rows, scalability_sweep
 from repro.metrics.report import render_table
 from repro.p2p.directory import theoretical_query_messages
 
 
 def main() -> None:
-    points = run_experiment_5(
+    points = scalability_sweep(
         system_sizes=(10, 20, 30),
         profiles=(0, 100),          # pure OFC vs pure OFT, the paper's extremes
         seed=42,
         thin=6,                     # keep every 6th job so the sweep stays quick
+        workers=2,                  # size × profile points across two processes
     )
     headers, rows = scalability_rows(points)
     print(render_table(headers, rows, title="Message complexity vs system size"))

@@ -6,17 +6,36 @@ economy based superscheduler that couples autonomous clusters through
 per-cluster Grid Federation Agents, a shared P2P quote directory and a
 deadline-and-budget-constrained scheduling algorithm.
 
-Quick start::
+Quick start — one declarative :class:`Scenario` per run::
 
-    from repro import (
-        FederationConfig, SharingMode, run_federation,
-        build_federation_specs, build_workload, RandomStreams,
-    )
+    from repro import Scenario, run_scenario
 
-    specs = build_federation_specs()
-    workload = build_workload(RandomStreams(42))
-    result = run_federation(specs, workload, FederationConfig(mode=SharingMode.ECONOMY))
+    result = run_scenario(Scenario())                     # the paper's economy setup
     print(result.total_incentive(), len(result.completed_jobs()))
+
+    result = run_scenario(Scenario(agent="broadcast"))    # NASA-style baseline
+    result = run_scenario(Scenario(pricing="demand"))     # dynamic pricing ablation
+    result = run_scenario(Scenario(mode="federation"))    # no economy (Experiment 2)
+
+Parameter sweeps run in parallel and memoise completed points::
+
+    from repro import Scenario, SweepRunner
+
+    runner = SweepRunner(workers=4)
+    scenarios = runner.sweep(profiles=range(0, 101, 10),  # Experiment 3
+                             sizes=(10, 20, 30, 40, 50))  # Experiment 5
+    for scenario, result in runner.run(scenarios):
+        print(scenario.describe(), result.total_incentive())
+
+New variants register in ten lines — see ``docs/API.md``::
+
+    from repro import register_agent, GridFederationAgent
+
+    @register_agent("mine")
+    class MyAgent(GridFederationAgent):
+        ...
+
+    run_scenario(Scenario(agent="mine"))
 
 See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-versus-measured record of every table and figure.
@@ -35,6 +54,17 @@ from repro.core import (
 from repro.cluster import ResourceSpec, SpaceSharedLRMS, SchedulingPolicy
 from repro.economy import GridBank, StaticPricingPolicy, DemandDrivenPricingPolicy
 from repro.p2p import FederationDirectory, RankCriterion
+from repro.scenario import (
+    Scenario,
+    SweepResult,
+    SweepRunner,
+    UnknownVariantError,
+    register_agent,
+    register_pricing,
+    register_workload,
+    run_scenario,
+    scenario_from_config,
+)
 from repro.sim import RandomStreams, Simulator
 from repro.workload import (
     Job,
@@ -44,7 +74,7 @@ from repro.workload import (
     build_workload,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "Federation",
@@ -55,6 +85,15 @@ __all__ = [
     "MessageType",
     "SharingMode",
     "run_federation",
+    "Scenario",
+    "SweepResult",
+    "SweepRunner",
+    "UnknownVariantError",
+    "register_agent",
+    "register_pricing",
+    "register_workload",
+    "run_scenario",
+    "scenario_from_config",
     "ResourceSpec",
     "SpaceSharedLRMS",
     "SchedulingPolicy",

@@ -88,8 +88,22 @@ def run_broadcast_federation(
     Everything except candidate selection — workload, QoS fabrication,
     accounting — matches :func:`repro.core.federation.run_federation`, so the
     results are directly comparable on identical inputs.
+
+    .. deprecated:: 2.0
+       Use ``run_scenario(Scenario(agent="broadcast", ...))`` instead.
     """
+    import warnings
+
+    warnings.warn(
+        "run_broadcast_federation() is deprecated; use repro.scenario."
+        'run_scenario(Scenario(agent="broadcast", ...)) instead',
+        DeprecationWarning,
+        stacklevel=2,
+    )
     config = config or FederationConfig(mode=SharingMode.ECONOMY)
     if config.mode is SharingMode.INDEPENDENT:
         raise ValueError("the broadcast baseline needs a federated sharing mode")
-    return Federation(specs, workload, config, agent_class=BroadcastGFA).run()
+    from repro.scenario import run_scenario, scenario_from_config
+
+    scenario = scenario_from_config(config, agent="broadcast")
+    return run_scenario(scenario, specs=specs, workload=workload)

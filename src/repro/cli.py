@@ -1,7 +1,7 @@
 """``gridfed`` command-line interface.
 
-Runs any of the paper's experiments from the shell and prints the
-corresponding table / figure data::
+Reproduces the paper's tables and figures and runs arbitrary registered
+scenarios from the shell::
 
     gridfed table2                 # independent resources (Experiment 1)
     gridfed table3                 # federation without economy (Experiment 2)
@@ -10,8 +10,18 @@ corresponding table / figure data::
     gridfed figure10 --sizes 10 20 --profiles 0 100 --thin 5
     gridfed table4                 # related-systems comparison
 
+    # any registered scenario, declaratively:
+    gridfed run --agent broadcast --thin 10
+    gridfed run --pricing demand --oft 30
+
+    # parameter sweeps, parallel and memo-hashed:
+    gridfed sweep --profiles 0 10 20 30 40 50 60 70 80 90 100 --workers 4
+    gridfed sweep --sizes 10 20 30 --profiles 0 100 --thin 5 --workers 4
+
 ``--thin N`` keeps every N-th job and makes exploratory runs fast; the
 EXPERIMENTS.md record was produced with ``--thin 1`` (the default).
+``--workers N`` runs sweep points across N processes — results are identical
+to the serial path (every point re-seeds from its own scenario).
 """
 
 from __future__ import annotations
@@ -23,13 +33,12 @@ from typing import List, Optional
 from repro.baselines.catalogue import related_systems_rows
 from repro.experiments import (
     DEFAULT_PROFILES,
-    run_experiment_1,
-    run_experiment_2,
-    run_experiment_3,
-    run_experiment_5,
+    economy_sweep,
+    experiment_1_scenario,
+    experiment_2_scenario,
 )
 from repro.experiments.exp4_messages import message_complexity_rows
-from repro.experiments.exp5_scalability import scalability_rows
+from repro.experiments.exp5_scalability import scalability_rows, scalability_sweep
 from repro.metrics.collectors import (
     incentive_by_resource,
     remote_jobs_serviced,
@@ -37,6 +46,8 @@ from repro.metrics.collectors import (
     user_qos_summary,
 )
 from repro.metrics.report import render_table
+from repro.scenario import AGENT_REGISTRY, PRICING_REGISTRY, WORKLOAD_REGISTRY
+from repro.scenario import Scenario, SweepRunner, UnknownVariantError, run_scenario
 from repro.workload.archive import ARCHIVE_RESOURCES
 
 
@@ -80,7 +91,7 @@ def cmd_table1(_args) -> str:
 
 
 def cmd_table2(args) -> str:
-    result = run_experiment_1(seed=args.seed, thin=args.thin)
+    result = run_scenario(experiment_1_scenario(seed=args.seed, thin=args.thin))
     return render_table(
         _PROCESSING_HEADERS,
         _processing_rows(result),
@@ -89,7 +100,7 @@ def cmd_table2(args) -> str:
 
 
 def cmd_table3(args) -> str:
-    result = run_experiment_2(seed=args.seed, thin=args.thin)
+    result = run_scenario(experiment_2_scenario(seed=args.seed, thin=args.thin))
     return render_table(
         _PROCESSING_HEADERS,
         _processing_rows(result),
@@ -102,8 +113,14 @@ def cmd_table4(_args) -> str:
     return render_table(headers, rows, title="Table 4 — superscheduling technique comparison")
 
 
+def _profile_sweep(args):
+    return economy_sweep(
+        profiles=args.profiles, seed=args.seed, thin=args.thin, workers=args.workers
+    )
+
+
 def cmd_figure3(args) -> str:
-    sweep = run_experiment_3(profiles=args.profiles, seed=args.seed, thin=args.thin)
+    sweep = _profile_sweep(args)
     headers = ["OFT %", "Resource", "Incentive (Grid $)", "Remote jobs serviced"]
     rows = []
     for oft_pct, result in sweep:
@@ -115,7 +132,7 @@ def cmd_figure3(args) -> str:
 
 
 def cmd_figure7(args) -> str:
-    sweep = run_experiment_3(profiles=args.profiles, seed=args.seed, thin=args.thin)
+    sweep = _profile_sweep(args)
     headers = ["OFT %", "Resource", "Avg response (s)", "Avg budget (Grid $)", "Jobs"]
     rows = []
     for oft_pct, result in sweep:
@@ -128,7 +145,7 @@ def cmd_figure7(args) -> str:
 
 
 def cmd_figure9(args) -> str:
-    sweep = run_experiment_3(profiles=args.profiles, seed=args.seed, thin=args.thin)
+    sweep = _profile_sweep(args)
     headers, rows, totals = message_complexity_rows(sweep)
     table = render_table(headers, rows, title="Figure 9 — remote/local message complexity")
     total_rows = [[oft, count] for oft, count in sorted(totals.items())]
@@ -137,11 +154,88 @@ def cmd_figure9(args) -> str:
 
 
 def cmd_figure10(args) -> str:
-    points = run_experiment_5(
-        system_sizes=args.sizes, profiles=args.profiles, seed=args.seed, thin=args.thin
+    points = scalability_sweep(
+        system_sizes=args.sizes,
+        profiles=args.profiles,
+        seed=args.seed,
+        thin=args.thin,
+        workers=args.workers,
     )
     headers, rows = scalability_rows(points)
     return render_table(headers, rows, title="Figures 10 & 11 — message complexity vs system size")
+
+
+def _scenario_from_args(args, oft_pct: Optional[float] = None) -> Scenario:
+    oft = args.oft if oft_pct is None else oft_pct
+    return Scenario(
+        mode=args.mode,
+        agent=args.agent,
+        pricing=args.pricing,
+        workload=args.workload,
+        oft_fraction=oft / 100.0,
+        seed=args.seed,
+        thin=args.thin,
+        system_size=args.size,
+    )
+
+
+def cmd_run(args) -> str:
+    scenario = _scenario_from_args(args)
+    result = run_scenario(scenario)
+    table = render_table(
+        _PROCESSING_HEADERS,
+        _processing_rows(result),
+        title=f"Scenario run — {scenario.describe()}",
+    )
+    summary = (
+        f"\njobs={len(result.jobs)} completed={len(result.completed_jobs())} "
+        f"rejected={len(result.rejected_jobs())} "
+        f"incentive={result.total_incentive():.2f} "
+        f"messages={result.message_log.total_messages} "
+        f"events={result.events_processed}\n"
+    )
+    return table + summary
+
+
+def cmd_sweep(args) -> str:
+    base = Scenario(
+        mode=args.mode,
+        agent=args.agent,
+        pricing=args.pricing,
+        workload=args.workload,
+        seed=args.seed,
+        thin=args.thin,
+    )
+    runner = SweepRunner(workers=args.workers)
+    if args.sizes:
+        scenarios = runner.sweep(base, sizes=args.sizes, profiles=args.profiles)
+    else:
+        scenarios = runner.sweep(base, profiles=args.profiles)
+    sweep = runner.run(scenarios)
+    headers = [
+        "System size",
+        "OFT %",
+        "Resource",
+        "Utilisation %",
+        "Incentive (Grid $)",
+        "Remote jobs serviced",
+    ]
+    rows = []
+    for scenario, result in sweep:
+        size = scenario.system_size if scenario.system_size is not None else len(result.specs)
+        oft_pct = int(round(scenario.oft_fraction * 100))
+        incentives = incentive_by_resource(result)
+        remote = remote_jobs_serviced(result)
+        for name in result.resource_names():
+            outcome = result.resources[name]
+            rows.append(
+                [size, oft_pct, name, 100.0 * outcome.utilisation, incentives[name], remote[name]]
+            )
+    title = (
+        f"Scenario sweep — {len(sweep)} points, agent={base.agent} "
+        f"pricing={base.pricing} mode={base.mode.value}"
+    )
+    return render_table(headers, rows, title=title)
 
 
 _COMMANDS = {
@@ -153,35 +247,129 @@ _COMMANDS = {
     "figure7": cmd_figure7,
     "figure9": cmd_figure9,
     "figure10": cmd_figure10,
+    "run": cmd_run,
+    "sweep": cmd_sweep,
+}
+
+_COMMAND_HELP = {
+    "table1": "workload and resource configuration (Table 1)",
+    "table2": "independent resources (Experiment 1, Table 2)",
+    "table3": "federation without economy (Experiment 2, Table 3)",
+    "table4": "related-systems comparison (Table 4)",
+    "figure3": "resource owner perspective (Figure 3)",
+    "figure7": "federation user perspective (Figures 7/8)",
+    "figure9": "message complexity per profile (Figure 9)",
+    "figure10": "message complexity vs system size (Figures 10-11)",
+    "run": "run any registered scenario and print its processing table",
+    "sweep": "run a profile/size sweep of a registered scenario (parallelisable)",
 }
 
 
+def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--agent",
+        default="default",
+        help=f"agent variant ({', '.join(AGENT_REGISTRY.available())})",
+    )
+    parser.add_argument(
+        "--pricing",
+        default="static",
+        help=f"pricing variant ({', '.join(PRICING_REGISTRY.available())})",
+    )
+    parser.add_argument(
+        "--workload",
+        default="archive",
+        help=f"workload source ({', '.join(WORKLOAD_REGISTRY.available())})",
+    )
+    parser.add_argument(
+        "--mode",
+        default="economy",
+        choices=["independent", "federation", "economy"],
+        help="sharing environment",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=42, help="workload / simulation seed")
+    common.add_argument(
+        "--thin", type=int, default=1, help="keep every N-th job (1 = full workload)"
+    )
+    common.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for sweep-style commands (default: serial)",
+    )
+
     parser = argparse.ArgumentParser(
         prog="gridfed",
-        description="Reproduce the Grid-Federation (Cluster 2005) tables and figures.",
+        description="Reproduce the Grid-Federation (Cluster 2005) tables and figures "
+        "and run registered scenarios.",
     )
-    parser.add_argument("command", choices=sorted(_COMMANDS), help="table or figure to regenerate")
-    parser.add_argument("--seed", type=int, default=42, help="workload / simulation seed")
-    parser.add_argument("--thin", type=int, default=1, help="keep every N-th job (1 = full workload)")
-    parser.add_argument(
+    subparsers = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    for name in ("table1", "table2", "table3", "table4"):
+        subparsers.add_parser(name, parents=[common], help=_COMMAND_HELP[name])
+
+    for name in ("figure3", "figure7", "figure9"):
+        sub = subparsers.add_parser(name, parents=[common], help=_COMMAND_HELP[name])
+        sub.add_argument(
+            "--profiles",
+            type=int,
+            nargs="+",
+            default=list(DEFAULT_PROFILES),
+            help="OFT percentages for the economy sweeps",
+        )
+        sub.add_argument(
+            "--include-rejected",
+            action="store_true",
+            help="account rejected jobs at their origin (Figure 8 convention)",
+        )
+
+    fig10 = subparsers.add_parser("figure10", parents=[common], help=_COMMAND_HELP["figure10"])
+    fig10.add_argument(
         "--profiles",
         type=int,
         nargs="+",
-        default=list(DEFAULT_PROFILES),
-        help="OFT percentages for the economy sweeps",
+        default=[0, 30, 50, 70, 100],
+        help="OFT percentages for the scalability sweep",
     )
-    parser.add_argument(
+    fig10.add_argument(
         "--sizes",
         type=int,
         nargs="+",
         default=[10, 20, 30, 40, 50],
         help="system sizes for the scalability experiment",
     )
-    parser.add_argument(
-        "--include-rejected",
-        action="store_true",
-        help="account rejected jobs at their origin (Figure 8 convention)",
+
+    run_parser = subparsers.add_parser("run", parents=[common], help=_COMMAND_HELP["run"])
+    _add_scenario_options(run_parser)
+    run_parser.add_argument(
+        "--oft", type=float, default=30.0, help="percentage of OFT users (economy mode)"
+    )
+    run_parser.add_argument(
+        "--size",
+        type=int,
+        default=None,
+        help="federation size via Table 1 replication (default: the 8 Table 1 resources)",
+    )
+
+    sweep_parser = subparsers.add_parser("sweep", parents=[common], help=_COMMAND_HELP["sweep"])
+    _add_scenario_options(sweep_parser)
+    sweep_parser.add_argument(
+        "--profiles",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_PROFILES),
+        help="OFT percentages to sweep",
+    )
+    sweep_parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="optional system sizes to sweep (crossed with --profiles)",
     )
     return parser
 
@@ -189,7 +377,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``gridfed`` console script."""
     args = build_parser().parse_args(argv)
-    output = _COMMANDS[args.command](args)
+    try:
+        output = _COMMANDS[args.command](args)
+    except (UnknownVariantError, ValueError) as exc:
+        # Scenario validation and registry lookups raise with messages meant
+        # for the user (ranges, known variant keys); show them without a
+        # traceback.  Other exceptions (including plain KeyErrors from
+        # internal bugs) still surface as tracebacks.
+        sys.stderr.write(f"gridfed: error: {exc}\n")
+        return 2
     sys.stdout.write(output)
     return 0
 

@@ -60,6 +60,20 @@ class FederationConfig:
     seed: int = 42
     keep_message_records: bool = False
 
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.oft_fraction <= 1.0:
+            raise ValueError(
+                f"oft_fraction must lie in [0, 1], got {self.oft_fraction}"
+            )
+        if self.budget_factor <= 0:
+            raise ValueError(f"budget_factor must be positive, got {self.budget_factor}")
+        if self.deadline_factor <= 0:
+            raise ValueError(
+                f"deadline_factor must be positive, got {self.deadline_factor}"
+            )
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+
 
 @dataclass
 class ResourceOutcome:
@@ -184,7 +198,7 @@ class Federation:
     # ------------------------------------------------------------------ #
     def _prepare_jobs(self) -> None:
         specs_by_name = {spec.name: spec for spec in self.specs}
-        all_jobs = [job for jobs in self.workload.values() for job in jobs]
+        all_jobs = self._all_jobs = [job for jobs in self.workload.values() for job in jobs]
         assign_qos(
             all_jobs,
             specs_by_name,
@@ -209,30 +223,33 @@ class Federation:
             population.start()
         self.sim.run()
 
-        all_jobs = [job for jobs in self.workload.values() for job in jobs]
+        all_jobs = self._all_jobs
         last_finish = max(
             (job.finish_time for job in all_jobs if job.finish_time is not None),
             default=self.config.horizon,
         )
         observation_period = max(self.config.horizon, last_finish)
 
+        # One pass over the jobs serves every spec's remote-work count.
+        remote_counts: Dict[str, int] = {}
+        for job in all_jobs:
+            if (
+                job.status is JobStatus.COMPLETED
+                and job.executed_on is not None
+                and job.executed_on != job.origin
+            ):
+                remote_counts[job.executed_on] = remote_counts.get(job.executed_on, 0) + 1
+
         resources: Dict[str, ResourceOutcome] = {}
         for spec in self.specs:
             gfa = self.gfas[spec.name]
             counters = self.message_log.counters(spec.name)
-            remote_processed = sum(
-                1
-                for job in all_jobs
-                if job.executed_on == spec.name
-                and job.origin != spec.name
-                and job.status is JobStatus.COMPLETED
-            )
             resources[spec.name] = ResourceOutcome(
                 spec=spec,
                 stats=gfa.stats,
                 utilisation=gfa.utilisation(observation_period),
                 incentive=gfa.incentive_earned,
-                remote_jobs_processed=remote_processed,
+                remote_jobs_processed=remote_counts.get(spec.name, 0),
                 local_messages=counters.local,
                 remote_messages=counters.remote,
             )
@@ -255,5 +272,22 @@ def run_federation(
     workload: Mapping[str, Sequence[Job]],
     config: Optional[FederationConfig] = None,
 ) -> FederationResult:
-    """One-shot helper: build a :class:`Federation`, run it, return the result."""
-    return Federation(specs, workload, config).run()
+    """One-shot helper: build a :class:`Federation`, run it, return the result.
+
+    .. deprecated:: 2.0
+       Use :func:`repro.scenario.run_scenario` with a
+       :class:`repro.scenario.Scenario` instead; this shim delegates there.
+    """
+    import warnings
+
+    warnings.warn(
+        "run_federation() is deprecated; use repro.scenario.run_scenario("
+        "Scenario(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.scenario.runner import run_scenario
+    from repro.scenario.scenario import scenario_from_config
+
+    scenario = scenario_from_config(config or FederationConfig())
+    return run_scenario(scenario, specs=specs, workload=workload)

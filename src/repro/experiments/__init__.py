@@ -19,17 +19,32 @@ from repro.experiments.common import (
     default_workload,
     thin_workload,
 )
-from repro.experiments.exp1_independent import run_experiment_1
-from repro.experiments.exp2_federation import run_experiment_2
-from repro.experiments.exp3_economy import ProfileSweepResult, run_economy_profile, run_experiment_3
+from repro.experiments.exp1_independent import experiment_1_scenario, run_experiment_1
+from repro.experiments.exp2_federation import experiment_2_scenario, run_experiment_2
+from repro.experiments.exp3_economy import (
+    ProfileSweepResult,
+    economy_profile_scenario,
+    economy_sweep,
+    run_economy_profile,
+    run_experiment_3,
+)
 from repro.experiments.exp4_messages import message_complexity_rows, run_experiment_4
-from repro.experiments.exp5_scalability import ScalabilityPoint, run_experiment_5
+from repro.experiments.exp5_scalability import (
+    ScalabilityPoint,
+    run_experiment_5,
+    scalability_sweep,
+)
 
 __all__ = [
     "DEFAULT_PROFILES",
     "default_specs",
     "default_workload",
     "thin_workload",
+    "experiment_1_scenario",
+    "experiment_2_scenario",
+    "economy_profile_scenario",
+    "economy_sweep",
+    "scalability_sweep",
     "run_experiment_1",
     "run_experiment_2",
     "run_economy_profile",

@@ -6,7 +6,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.specs import ResourceSpec
 from repro.sim.rng import RandomStreams
-from repro.workload.archive import ARCHIVE_RESOURCES, ArchiveResource, build_federation_specs, build_workload
+from repro.workload.archive import (
+    ARCHIVE_RESOURCES,
+    ArchiveResource,
+    build_federation_specs,
+    build_workload,
+    thin_workload,
+)
 from repro.workload.job import Job
 
 #: The eleven user-population profiles of Experiment 3: percentage of users
@@ -37,15 +43,6 @@ def default_workload(
     """
     workload = build_workload(RandomStreams(seed), resources)
     return thin_workload(workload, thin)
-
-
-def thin_workload(workload: Dict[str, List[Job]], thin: int) -> Dict[str, List[Job]]:
-    """Keep every ``thin``-th job of each resource (1 = no thinning)."""
-    if thin < 1:
-        raise ValueError("thin must be at least 1")
-    if thin == 1:
-        return workload
-    return {name: jobs[::thin] for name, jobs in workload.items()}
 
 
 def archive_resources() -> List[ArchiveResource]:

@@ -4,17 +4,37 @@ Every cluster schedules only its own local workload; a job is accepted iff the
 LRMS can complete it within its deadline, otherwise it is rejected outright.
 This is the control experiment that Table 2 reports and that Fig. 2 compares
 the federated runs against.
+
+The driver is a thin adapter over the Scenario API:
+``experiment_1_scenario(...)`` builds the declarative description and
+:func:`repro.scenario.run_scenario` executes it; the legacy
+``run_experiment_1`` name is kept as a deprecation shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence
 
 from repro.cluster.lrms import SchedulingPolicy
-from repro.core.federation import FederationConfig, FederationResult, run_federation
+from repro.core.federation import FederationResult
 from repro.core.policies import SharingMode
-from repro.experiments.common import default_specs, default_workload
+from repro.scenario import Scenario, run_scenario
 from repro.workload.archive import ArchiveResource
+
+
+def experiment_1_scenario(
+    seed: int = 42,
+    thin: int = 1,
+    lrms_policy: SchedulingPolicy = SchedulingPolicy.FCFS,
+) -> Scenario:
+    """The independent-resource scenario (Table 2)."""
+    return Scenario(
+        mode=SharingMode.INDEPENDENT,
+        seed=seed,
+        thin=thin,
+        lrms_policy=lrms_policy,
+    )
 
 
 def run_experiment_1(
@@ -24,6 +44,9 @@ def run_experiment_1(
     lrms_policy: SchedulingPolicy = SchedulingPolicy.FCFS,
 ) -> FederationResult:
     """Run the independent-resource scenario and return its result.
+
+    .. deprecated:: 2.0
+       Use ``run_scenario(experiment_1_scenario(...))`` instead.
 
     Parameters
     ----------
@@ -37,11 +60,11 @@ def run_experiment_1(
     lrms_policy:
         Cluster-level queueing policy (FCFS in the paper's setup).
     """
-    specs = default_specs(resources)
-    workload = default_workload(seed=seed, resources=resources, thin=thin)
-    config = FederationConfig(
-        mode=SharingMode.INDEPENDENT,
-        seed=seed,
-        lrms_policy=lrms_policy,
+    warnings.warn(
+        "run_experiment_1() is deprecated; use repro.scenario.run_scenario("
+        "experiment_1_scenario(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return run_federation(specs, workload, config)
+    scenario = experiment_1_scenario(seed=seed, thin=thin, lrms_policy=lrms_policy)
+    return run_scenario(scenario, resources=resources)

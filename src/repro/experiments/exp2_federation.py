@@ -3,17 +3,35 @@
 Jobs that cannot meet their deadline locally are offered to the other clusters
 in decreasing order of computational speed; admission is negotiated with each
 candidate in turn.  Table 3 and Fig. 2 report the outcome.
+
+The driver is a thin adapter over the Scenario API; the legacy
+``run_experiment_2`` name is kept as a deprecation shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence
 
 from repro.cluster.lrms import SchedulingPolicy
-from repro.core.federation import FederationConfig, FederationResult, run_federation
+from repro.core.federation import FederationResult
 from repro.core.policies import SharingMode
-from repro.experiments.common import default_specs, default_workload
+from repro.scenario import Scenario, run_scenario
 from repro.workload.archive import ArchiveResource
+
+
+def experiment_2_scenario(
+    seed: int = 42,
+    thin: int = 1,
+    lrms_policy: SchedulingPolicy = SchedulingPolicy.FCFS,
+) -> Scenario:
+    """The federation-without-economy scenario (Table 3, Fig. 2)."""
+    return Scenario(
+        mode=SharingMode.FEDERATION,
+        seed=seed,
+        thin=thin,
+        lrms_policy=lrms_policy,
+    )
 
 
 def run_experiment_2(
@@ -22,12 +40,16 @@ def run_experiment_2(
     thin: int = 1,
     lrms_policy: SchedulingPolicy = SchedulingPolicy.FCFS,
 ) -> FederationResult:
-    """Run the federation-without-economy scenario and return its result."""
-    specs = default_specs(resources)
-    workload = default_workload(seed=seed, resources=resources, thin=thin)
-    config = FederationConfig(
-        mode=SharingMode.FEDERATION,
-        seed=seed,
-        lrms_policy=lrms_policy,
+    """Run the federation-without-economy scenario and return its result.
+
+    .. deprecated:: 2.0
+       Use ``run_scenario(experiment_2_scenario(...))`` instead.
+    """
+    warnings.warn(
+        "run_experiment_2() is deprecated; use repro.scenario.run_scenario("
+        "experiment_2_scenario(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return run_federation(specs, workload, config)
+    scenario = experiment_2_scenario(seed=seed, thin=thin, lrms_policy=lrms_policy)
+    return run_scenario(scenario, resources=resources)

@@ -6,17 +6,24 @@ each profile, the resource owners' incentives (Fig. 3), resource utilisation
 (Fig. 4), job migration (Fig. 5), rejections (Fig. 6) and end-user QoS
 satisfaction (Figs. 7 and 8).  Experiment 4 reuses the same sweep for message
 complexity (Fig. 9).
+
+The sweep now rides on :class:`repro.scenario.SweepRunner`:
+:func:`economy_sweep` expands the profiles into scenarios and executes them —
+optionally across worker processes — while the legacy ``run_economy_profile``
+and ``run_experiment_3`` names remain as deprecation shims.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.cluster.lrms import SchedulingPolicy
-from repro.core.federation import FederationConfig, FederationResult, run_federation
+from repro.core.federation import FederationResult
 from repro.core.policies import SharingMode
-from repro.experiments.common import DEFAULT_PROFILES, default_specs, default_workload
+from repro.experiments.common import DEFAULT_PROFILES
+from repro.scenario import Scenario, SweepRunner, run_scenario
 from repro.workload.archive import ArchiveResource
 
 
@@ -40,14 +47,13 @@ class ProfileSweepResult:
         return len(self.results)
 
 
-def run_economy_profile(
+def economy_profile_scenario(
     oft_pct: int,
     seed: int = 42,
-    resources: Optional[Sequence[ArchiveResource]] = None,
     thin: int = 1,
     lrms_policy: SchedulingPolicy = SchedulingPolicy.FCFS,
-) -> FederationResult:
-    """Run the economy scenario for one user-population profile.
+) -> Scenario:
+    """The economy scenario for one user-population profile.
 
     Parameters
     ----------
@@ -57,15 +63,75 @@ def run_economy_profile(
     """
     if not 0 <= oft_pct <= 100:
         raise ValueError(f"oft_pct must lie in [0, 100], got {oft_pct}")
-    specs = default_specs(resources)
-    workload = default_workload(seed=seed, resources=resources, thin=thin)
-    config = FederationConfig(
+    return Scenario(
         mode=SharingMode.ECONOMY,
         oft_fraction=oft_pct / 100.0,
         seed=seed,
+        thin=thin,
         lrms_policy=lrms_policy,
     )
-    return run_federation(specs, workload, config)
+
+
+def economy_sweep(
+    profiles: Sequence[int] = DEFAULT_PROFILES,
+    seed: int = 42,
+    resources: Optional[Sequence[ArchiveResource]] = None,
+    thin: int = 1,
+    lrms_policy: SchedulingPolicy = SchedulingPolicy.FCFS,
+    workers: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
+) -> ProfileSweepResult:
+    """Sweep the user-population profiles of Experiment 3.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes for the sweep (``None`` or 1 = serial).  Parallel
+        and serial execution produce identical results.
+    runner:
+        Optional pre-built :class:`SweepRunner`; pass one to reuse its
+        memoisation cache across incremental sweeps.
+
+    Returns a :class:`ProfileSweepResult` mapping each OFT percentage to its
+    :class:`~repro.core.federation.FederationResult`; Experiments 3 and 4
+    (and Figs. 3–9) are all read off this sweep.
+    """
+    runner = SweepRunner(workers=workers) if runner is None else runner
+    scenarios = [
+        economy_profile_scenario(
+            int(oft_pct), seed=seed, thin=thin, lrms_policy=lrms_policy
+        )
+        for oft_pct in profiles
+    ]
+    sweep = runner.run(scenarios, resources=resources, workers=workers)
+    results = {
+        int(round(scenario.oft_fraction * 100)): result for scenario, result in sweep
+    }
+    return ProfileSweepResult(results=results)
+
+
+def run_economy_profile(
+    oft_pct: int,
+    seed: int = 42,
+    resources: Optional[Sequence[ArchiveResource]] = None,
+    thin: int = 1,
+    lrms_policy: SchedulingPolicy = SchedulingPolicy.FCFS,
+) -> FederationResult:
+    """Run the economy scenario for one user-population profile.
+
+    .. deprecated:: 2.0
+       Use ``run_scenario(economy_profile_scenario(...))`` instead.
+    """
+    warnings.warn(
+        "run_economy_profile() is deprecated; use repro.scenario.run_scenario("
+        "economy_profile_scenario(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    scenario = economy_profile_scenario(
+        oft_pct, seed=seed, thin=thin, lrms_policy=lrms_policy
+    )
+    return run_scenario(scenario, resources=resources)
 
 
 def run_experiment_3(
@@ -77,18 +143,19 @@ def run_experiment_3(
 ) -> ProfileSweepResult:
     """Sweep the user-population profiles of Experiment 3.
 
-    Returns a :class:`ProfileSweepResult` mapping each OFT percentage to its
-    :class:`~repro.core.federation.FederationResult`; Experiments 3 and 4
-    (and Figs. 3–9) are all read off this sweep.
+    .. deprecated:: 2.0
+       Use :func:`economy_sweep` (which can also parallelise) instead.
     """
-    results = {
-        int(oft_pct): run_economy_profile(
-            int(oft_pct),
-            seed=seed,
-            resources=resources,
-            thin=thin,
-            lrms_policy=lrms_policy,
-        )
-        for oft_pct in profiles
-    }
-    return ProfileSweepResult(results=results)
+    warnings.warn(
+        "run_experiment_3() is deprecated; use repro.experiments."
+        "economy_sweep(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return economy_sweep(
+        profiles=profiles,
+        seed=seed,
+        resources=resources,
+        thin=thin,
+        lrms_policy=lrms_policy,
+    )

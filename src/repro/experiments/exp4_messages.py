@@ -8,10 +8,11 @@ users' jobs) or *remote* (work done for other sites' jobs).
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import DEFAULT_PROFILES
-from repro.experiments.exp3_economy import ProfileSweepResult, run_experiment_3
+from repro.experiments.exp3_economy import ProfileSweepResult, economy_sweep
 from repro.metrics.collectors import message_summary
 from repro.workload.archive import ArchiveResource
 
@@ -27,10 +28,19 @@ def run_experiment_4(
 
     Pass a previously computed ``sweep`` to avoid re-simulating — Experiment 4
     measures the same runs as Experiment 3, just through a different lens.
+
+    .. deprecated:: 2.0
+       Use :func:`repro.experiments.economy_sweep` instead.
     """
+    warnings.warn(
+        "run_experiment_4() is deprecated; use repro.experiments."
+        "economy_sweep(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if sweep is not None:
         return sweep
-    return run_experiment_3(profiles=profiles, seed=seed, resources=resources, thin=thin)
+    return economy_sweep(profiles=profiles, seed=seed, resources=resources, thin=thin)
 
 
 def message_complexity_rows(

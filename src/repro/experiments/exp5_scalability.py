@@ -5,16 +5,23 @@ clusters (each replica keeps its template's capacity, speed, price and
 workload calibration).  For every (system size, population profile) point the
 experiment records the min / average / max number of messages per job and per
 GFA.
+
+:func:`scalability_sweep` expands the size × profile grid through
+:class:`repro.scenario.SweepRunner` (optionally in parallel, with
+memoisation); the legacy ``run_experiment_5`` name remains as a deprecation
+shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.exp3_economy import run_economy_profile
+from repro.core.federation import FederationResult
+from repro.core.policies import SharingMode
 from repro.metrics.collectors import MessageStats, per_gfa_message_stats, per_job_message_stats
-from repro.workload.archive import replicate_resources
+from repro.scenario import Scenario, SweepRunner
 
 #: System sizes studied in the paper (the Java simulator could not go beyond 50).
 DEFAULT_SYSTEM_SIZES: Tuple[int, ...] = (10, 20, 30, 40, 50)
@@ -35,11 +42,24 @@ class ScalabilityPoint:
     jobs: int
 
 
-def run_experiment_5(
+def _scalability_point(result: FederationResult, size: int, oft_pct: int) -> ScalabilityPoint:
+    return ScalabilityPoint(
+        system_size=size,
+        oft_pct=oft_pct,
+        per_job=per_job_message_stats(result),
+        per_gfa=per_gfa_message_stats(result),
+        total_messages=result.message_log.total_messages,
+        jobs=len(result.jobs),
+    )
+
+
+def scalability_sweep(
     system_sizes: Sequence[int] = DEFAULT_SYSTEM_SIZES,
     profiles: Sequence[int] = DEFAULT_SCALABILITY_PROFILES,
     seed: int = 42,
     thin: int = 3,
+    workers: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[Tuple[int, int], ScalabilityPoint]:
     """Sweep system sizes and population profiles.
 
@@ -54,28 +74,50 @@ def run_experiment_5(
         Keep every ``thin``-th job of every resource.  The default (3) keeps
         the size-50 runs tractable on a laptop while preserving the relative
         load of every resource; ``thin=1`` reproduces the full workload.
+    workers:
+        Worker processes (``None`` or 1 = serial); parallel and serial
+        execution produce identical results.
+    runner:
+        Optional pre-built :class:`SweepRunner` whose memoisation cache makes
+        incremental sweeps (more sizes, more profiles) only run new points.
 
     Returns
     -------
     dict
         Mapping ``(system size, OFT %) -> ScalabilityPoint``.
     """
+    runner = SweepRunner(workers=workers) if runner is None else runner
+    base = Scenario(mode=SharingMode.ECONOMY, seed=seed, thin=thin)
+    scenarios = runner.sweep(base, sizes=system_sizes, profiles=profiles)
+    sweep = runner.run(scenarios, workers=workers)
     points: Dict[Tuple[int, int], ScalabilityPoint] = {}
-    for size in system_sizes:
-        resources = replicate_resources(int(size))
-        for oft_pct in profiles:
-            result = run_economy_profile(
-                int(oft_pct), seed=seed, resources=resources, thin=thin
-            )
-            points[(int(size), int(oft_pct))] = ScalabilityPoint(
-                system_size=int(size),
-                oft_pct=int(oft_pct),
-                per_job=per_job_message_stats(result),
-                per_gfa=per_gfa_message_stats(result),
-                total_messages=result.message_log.total_messages,
-                jobs=len(result.jobs),
-            )
+    for scenario, result in sweep:
+        size = int(scenario.system_size)
+        oft_pct = int(round(scenario.oft_fraction * 100))
+        points[(size, oft_pct)] = _scalability_point(result, size, oft_pct)
     return points
+
+
+def run_experiment_5(
+    system_sizes: Sequence[int] = DEFAULT_SYSTEM_SIZES,
+    profiles: Sequence[int] = DEFAULT_SCALABILITY_PROFILES,
+    seed: int = 42,
+    thin: int = 3,
+) -> Dict[Tuple[int, int], ScalabilityPoint]:
+    """Sweep system sizes and population profiles.
+
+    .. deprecated:: 2.0
+       Use :func:`scalability_sweep` (which can also parallelise) instead.
+    """
+    warnings.warn(
+        "run_experiment_5() is deprecated; use repro.experiments."
+        "scalability_sweep(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return scalability_sweep(
+        system_sizes=system_sizes, profiles=profiles, seed=seed, thin=thin
+    )
 
 
 def scalability_rows(

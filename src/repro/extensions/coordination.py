@@ -73,8 +73,23 @@ def run_coordinated_federation(
     workload: Mapping[str, Sequence[Job]],
     config: Optional[FederationConfig] = None,
 ) -> FederationResult:
-    """Run a federation of :class:`CoordinatedGFA` agents."""
+    """Run a federation of :class:`CoordinatedGFA` agents.
+
+    .. deprecated:: 2.0
+       Use ``run_scenario(Scenario(agent="coordinated", ...))`` instead.
+    """
+    import warnings
+
+    warnings.warn(
+        "run_coordinated_federation() is deprecated; use repro.scenario."
+        'run_scenario(Scenario(agent="coordinated", ...)) instead',
+        DeprecationWarning,
+        stacklevel=2,
+    )
     config = config or FederationConfig(mode=SharingMode.ECONOMY)
     if config.mode is SharingMode.INDEPENDENT:
         raise ValueError("coordination requires a federated sharing mode")
-    return Federation(specs, workload, config, agent_class=CoordinatedGFA).run()
+    from repro.scenario import run_scenario, scenario_from_config
+
+    scenario = scenario_from_config(config, agent="coordinated")
+    return run_scenario(scenario, specs=specs, workload=workload)

@@ -27,6 +27,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.cluster.specs import ResourceSpec
 from repro.core.federation import Federation, FederationConfig, FederationResult
+from repro.core.gfa import GridFederationAgent
 from repro.core.policies import SharingMode
 from repro.economy.pricing import DemandDrivenPricingPolicy
 from repro.workload.job import Job
@@ -53,13 +54,14 @@ class DynamicPricingFederation(Federation):
         config: Optional[FederationConfig] = None,
         pricing_policy: Optional[DemandDrivenPricingPolicy] = None,
         repricing_interval: float = 4 * 3600.0,
+        agent_class: type = GridFederationAgent,
     ):
         config = config or FederationConfig(mode=SharingMode.ECONOMY)
         if config.mode is not SharingMode.ECONOMY:
             raise ValueError("dynamic pricing only makes sense in economy mode")
         if repricing_interval <= 0:
             raise ValueError("repricing interval must be positive")
-        super().__init__(specs, workload, config)
+        super().__init__(specs, workload, config, agent_class=agent_class)
         self.pricing_policy = pricing_policy or DemandDrivenPricingPolicy()
         self.repricing_interval = repricing_interval
         self.price_history: Dict[str, List[float]] = {spec.name: [spec.price] for spec in specs}
@@ -104,12 +106,35 @@ def run_with_dynamic_pricing(
     pricing_policy: Optional[DemandDrivenPricingPolicy] = None,
     repricing_interval: float = 4 * 3600.0,
 ) -> FederationResult:
-    """One-shot helper mirroring :func:`repro.core.federation.run_federation`."""
-    federation = DynamicPricingFederation(
-        specs,
-        workload,
-        config,
-        pricing_policy=pricing_policy,
+    """One-shot helper mirroring :func:`repro.core.federation.run_federation`.
+
+    .. deprecated:: 2.0
+       Use ``run_scenario(Scenario(pricing="demand", ...))`` instead.
+    """
+    import warnings
+
+    warnings.warn(
+        "run_with_dynamic_pricing() is deprecated; use repro.scenario."
+        'run_scenario(Scenario(pricing="demand", ...)) instead',
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if pricing_policy is not None:
+        # A custom policy object is not expressible as registry data; run the
+        # federation class directly.
+        federation = DynamicPricingFederation(
+            specs,
+            workload,
+            config,
+            pricing_policy=pricing_policy,
+            repricing_interval=repricing_interval,
+        )
+        return federation.run()
+    from repro.scenario import run_scenario, scenario_from_config
+
+    scenario = scenario_from_config(
+        config or FederationConfig(mode=SharingMode.ECONOMY),
+        pricing="demand",
         repricing_interval=repricing_interval,
     )
-    return federation.run()
+    return run_scenario(scenario, specs=specs, workload=workload)

@@ -1,0 +1,294 @@
+"""Scenario execution: single runs and parallel, memoised sweeps.
+
+:func:`run_scenario` resolves a :class:`~repro.scenario.scenario.Scenario`'s
+registry keys into concrete classes, builds the federation and runs it.  Every
+stochastic ingredient (workload streams, strategy assignment, directory
+probing) is derived from the scenario's own seed and the global job-id counter
+is reset before workload generation, so a scenario produces the *same* result
+whether it runs in this process, in a worker process, or after a hundred other
+scenarios — the property the parallel sweep runner rests on.
+
+:class:`SweepRunner` expands parameter grids into scenario lists
+(:meth:`SweepRunner.sweep`), executes them serially or across a
+``ProcessPoolExecutor`` (:meth:`SweepRunner.run`), and memoises completed
+points keyed on the scenario hash so repeated or incremental sweeps only pay
+for new points.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.federation import FederationResult
+from repro.scenario.registry import AGENT_REGISTRY, PRICING_REGISTRY, WORKLOAD_REGISTRY
+from repro.scenario.scenario import Scenario
+from repro.sim.rng import RandomStreams
+from repro.workload.archive import (
+    ARCHIVE_RESOURCES,
+    ArchiveResource,
+    build_federation_specs,
+    replicate_resources,
+    thin_workload,
+)
+from repro.workload.job import Job, reset_job_counter
+
+__all__ = ["run_scenario", "SweepPoint", "SweepResult", "SweepRunner"]
+
+
+def resolve_resources(
+    scenario: Scenario,
+    resources: Optional[Sequence[ArchiveResource]] = None,
+) -> List[ArchiveResource]:
+    """The archive resources a scenario runs on (explicit list wins)."""
+    if resources is not None:
+        return list(resources)
+    if scenario.system_size is not None:
+        return replicate_resources(scenario.system_size)
+    return list(ARCHIVE_RESOURCES)
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    resources: Optional[Sequence[ArchiveResource]] = None,
+    specs=None,
+    workload: Optional[Mapping[str, Sequence[Job]]] = None,
+) -> FederationResult:
+    """Build and run the federation a scenario describes.
+
+    Parameters
+    ----------
+    scenario:
+        The declarative run description.
+    resources:
+        Explicit archive resources, overriding the scenario's
+        ``system_size`` (used by the experiment drivers' resource subsets).
+    specs, workload:
+        Fully explicit resource specs and per-resource job lists; when given
+        the scenario's workload source is bypassed entirely (this is how the
+        legacy ``run_*(specs, workload)`` shims delegate here).  Supply both
+        or neither.
+    """
+    if (specs is None) != (workload is None):
+        raise ValueError("pass both specs and workload, or neither")
+    agent_class = AGENT_REGISTRY.get(scenario.agent)
+    federation_factory = PRICING_REGISTRY.get(scenario.pricing)
+    if workload is None:
+        archive = resolve_resources(scenario, resources)
+        specs = build_federation_specs(archive)
+        provider = WORKLOAD_REGISTRY.get(scenario.workload)
+        # Fresh job ids per point: a scenario's outcome must not depend on
+        # how many jobs earlier runs of this process created.
+        reset_job_counter()
+        streams = RandomStreams(scenario.seed)
+        workload = thin_workload(provider(scenario, streams, archive), scenario.thin)
+    federation = federation_factory(
+        scenario, specs, workload, scenario.to_config(), agent_class
+    )
+    return federation.run()
+
+
+# --------------------------------------------------------------------------- #
+# Sweeps
+# --------------------------------------------------------------------------- #
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One executed sweep point: the scenario and its result."""
+
+    scenario: Scenario
+    result: FederationResult
+
+
+class SweepResult:
+    """Ordered collection of sweep points (insertion order of the grid)."""
+
+    def __init__(self, points: Sequence[SweepPoint]):
+        self.points = list(points)
+
+    def scenarios(self) -> List[Scenario]:
+        return [point.scenario for point in self.points]
+
+    def results(self) -> List[FederationResult]:
+        return [point.result for point in self.points]
+
+    def __iter__(self) -> Iterator[Tuple[Scenario, FederationResult]]:
+        return iter((p.scenario, p.result) for p in self.points)
+
+    def __getitem__(self, index: int) -> SweepPoint:
+        return self.points[index]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def _execute_point(
+    item: Tuple[str, Scenario, Optional[Tuple[ArchiveResource, ...]]],
+) -> Tuple[str, FederationResult]:
+    """Worker function: run one point and return it with its cache key.
+
+    Module-level so that :class:`ProcessPoolExecutor` can pickle it; also the
+    serial execution path, so both paths share one code line per point.
+    """
+    key, scenario, resources = item
+    return key, run_scenario(scenario, resources=resources)
+
+
+#: Grid axes accepted by :meth:`SweepRunner.sweep` beyond raw field names.
+_AXIS_ALIASES = {
+    "profiles": ("oft_fraction", lambda pct: float(pct) / 100.0),
+    "sizes": ("system_size", int),
+    "seeds": ("seed", int),
+}
+
+_SCENARIO_FIELDS = frozenset(f.name for f in dataclasses.fields(Scenario))
+
+
+class SweepRunner:
+    """Expands parameter grids and executes them in parallel with memoisation.
+
+    Parameters
+    ----------
+    workers:
+        Default number of worker processes for :meth:`run` (``None`` or 1 =
+        serial in-process execution).
+    cache:
+        Optional pre-seeded mapping from point key to result; pass a shared
+        dict to memoise across runner instances.
+
+    Examples
+    --------
+    >>> runner = SweepRunner(workers=4)                       # doctest: +SKIP
+    >>> scenarios = runner.sweep(profiles=range(0, 101, 10),  # doctest: +SKIP
+    ...                          sizes=(10, 20, 30, 40, 50))
+    >>> sweep = runner.run(scenarios)                         # doctest: +SKIP
+
+    Completed points are memoised on the scenario hash: re-running the same
+    grid is free, and extending the grid only executes the new points.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[Dict[str, FederationResult]] = None,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        self.workers = workers
+        self._cache: Dict[str, FederationResult] = {} if cache is None else cache
+        #: Number of points actually executed (not served from cache).
+        self.executed_points = 0
+
+    # ------------------------------------------------------------------ #
+    # Grid expansion
+    # ------------------------------------------------------------------ #
+    def sweep(self, base: Optional[Scenario] = None, **grid) -> List[Scenario]:
+        """Expand a parameter grid into scenarios (cartesian product).
+
+        Axes are either :class:`Scenario` field names (``seed=(1, 2, 3)``)
+        or the conveniences ``profiles`` (OFT percentages mapped onto
+        ``oft_fraction``), ``sizes`` (``system_size``) and ``seeds``.  Axis
+        order is preserved: the *last* axis varies fastest, so
+        ``sweep(sizes=(10, 20), profiles=(0, 100))`` yields the points in
+        ``(10, 0), (10, 100), (20, 0), (20, 100)`` order.
+        """
+        base = Scenario() if base is None else base
+        axes: List[List[Tuple[str, object]]] = []
+        for name, values in grid.items():
+            if name in _AXIS_ALIASES:
+                field, convert = _AXIS_ALIASES[name]
+                axis = [(field, convert(value)) for value in values]
+            elif name in _SCENARIO_FIELDS:
+                axis = [(name, value) for value in values]
+            else:
+                known = sorted(_SCENARIO_FIELDS | set(_AXIS_ALIASES))
+                raise ValueError(
+                    f"unknown sweep axis {name!r}; use a Scenario field or "
+                    f"alias: {', '.join(known)}"
+                )
+            if not axis:
+                raise ValueError(f"sweep axis {name!r} is empty")
+            axes.append(axis)
+        scenarios = [base]
+        for axis in axes:
+            scenarios = [
+                scenario.replace(**{field: value})
+                for scenario in scenarios
+                for field, value in axis
+            ]
+        return scenarios
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _point_key(
+        scenario: Scenario, resources: Optional[Sequence[ArchiveResource]]
+    ) -> str:
+        key = scenario.scenario_hash()
+        if resources is not None:
+            # Hash the full resource contents, not just the names: two lists
+            # with identical names but different capacities/prices must not
+            # share cached results.
+            blob = json.dumps(
+                [dataclasses.asdict(res) for res in resources],
+                sort_keys=True,
+                default=str,
+            )
+            key += ":" + hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+        return key
+
+    def run(
+        self,
+        scenarios: Sequence[Scenario],
+        *,
+        resources: Optional[Sequence[ArchiveResource]] = None,
+        workers: Optional[int] = None,
+    ) -> SweepResult:
+        """Execute every scenario (skipping memoised points) and collect results.
+
+        Parameters
+        ----------
+        scenarios:
+            The points to run, e.g. from :meth:`sweep`.
+        resources:
+            Explicit archive resources shared by every point (overrides each
+            scenario's ``system_size``).
+        workers:
+            Worker processes for this run (overrides the constructor default;
+            ``None`` or 1 = serial).  Parallel and serial execution produce
+            identical results: every point re-seeds from its own scenario.
+        """
+        workers = self.workers if workers is None else workers
+        keys = [self._point_key(scenario, resources) for scenario in scenarios]
+        shipped = tuple(resources) if resources is not None else None
+        pending: List[Tuple[str, Scenario, Optional[Tuple[ArchiveResource, ...]]]] = []
+        seen = set()
+        for key, scenario in zip(keys, scenarios):
+            if key not in self._cache and key not in seen:
+                seen.add(key)
+                pending.append((key, scenario, shipped))
+        if pending:
+            if workers is not None and workers > 1 and len(pending) > 1:
+                with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+                    completed = pool.map(_execute_point, pending)
+                    for key, result in completed:
+                        self._cache[key] = result
+                        self.executed_points += 1
+            else:
+                for item in pending:
+                    key, result = _execute_point(item)
+                    self._cache[key] = result
+                    self.executed_points += 1
+        points = [
+            SweepPoint(scenario=scenario, result=self._cache[key])
+            for key, scenario in zip(keys, scenarios)
+        ]
+        return SweepResult(points)
+
+    def clear_cache(self) -> None:
+        """Drop every memoised point."""
+        self._cache.clear()

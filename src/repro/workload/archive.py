@@ -211,6 +211,15 @@ def combined_workload(workload: Mapping[str, Sequence[Job]]) -> List[Job]:
     return merge_workloads(list(workload.values()))
 
 
+def thin_workload(workload: Dict[str, List[Job]], thin: int) -> Dict[str, List[Job]]:
+    """Keep every ``thin``-th job of each resource (1 = no thinning)."""
+    if thin < 1:
+        raise ValueError("thin must be at least 1")
+    if thin == 1:
+        return workload
+    return {name: jobs[::thin] for name, jobs in workload.items()}
+
+
 def replicate_resources(count: int, suffix: str = "#") -> List[ArchiveResource]:
     """Replicate the Table 1 resources to reach ``count`` entries (Experiment 5).
 

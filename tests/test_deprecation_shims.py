@@ -1,0 +1,142 @@
+"""The legacy entry points keep working as deprecation shims over the Scenario API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import run_broadcast_federation
+from repro.core import FederationConfig, SharingMode, run_federation
+from repro.experiments import (
+    run_economy_profile,
+    run_experiment_1,
+    run_experiment_2,
+    run_experiment_3,
+    run_experiment_4,
+    run_experiment_5,
+)
+from repro.extensions import run_coordinated_federation, run_with_dynamic_pricing
+from repro.scenario import Scenario, run_scenario
+from repro.sim import RandomStreams
+from repro.workload import build_federation_specs, build_workload
+from repro.workload.archive import ARCHIVE_RESOURCES
+
+SMALL = ARCHIVE_RESOURCES[:4]
+THIN = 8
+
+
+def small_setup(seed=9, thin=THIN):
+    specs = build_federation_specs(SMALL)
+    workload = {n: j[::thin] for n, j in build_workload(RandomStreams(seed), SMALL).items()}
+    return specs, workload
+
+
+def fingerprint(result):
+    return (
+        len(result.jobs),
+        result.message_log.total_messages,
+        tuple((name, round(o.incentive, 9)) for name, o in sorted(result.resources.items())),
+    )
+
+
+class TestCoreShim:
+    def test_run_federation_warns_and_delegates(self):
+        specs, workload = small_setup()
+        config = FederationConfig(mode=SharingMode.ECONOMY, seed=1)
+        with pytest.warns(DeprecationWarning, match="run_federation"):
+            result = run_federation(specs, workload, config)
+        assert len(result.jobs) == sum(len(j) for j in workload.values())
+        assert result.config.mode is SharingMode.ECONOMY
+
+    def test_shim_matches_direct_scenario_path(self):
+        specs_a, workload_a = small_setup(seed=3)
+        specs_b, workload_b = small_setup(seed=3)
+        config = FederationConfig(mode=SharingMode.ECONOMY, seed=3)
+        with pytest.warns(DeprecationWarning):
+            legacy = run_federation(specs_a, workload_a, config)
+        modern = run_scenario(
+            Scenario(mode=SharingMode.ECONOMY, seed=3), specs=specs_b, workload=workload_b
+        )
+        assert fingerprint(legacy) == fingerprint(modern)
+
+
+class TestExperimentShims:
+    def test_run_experiment_1_warns(self):
+        with pytest.warns(DeprecationWarning, match="run_experiment_1"):
+            result = run_experiment_1(seed=2, resources=SMALL, thin=THIN)
+        assert result.config.mode is SharingMode.INDEPENDENT
+
+    def test_run_experiment_2_warns(self):
+        with pytest.warns(DeprecationWarning, match="run_experiment_2"):
+            result = run_experiment_2(seed=2, resources=SMALL, thin=THIN)
+        assert result.config.mode is SharingMode.FEDERATION
+
+    def test_run_economy_profile_warns(self):
+        with pytest.warns(DeprecationWarning, match="run_economy_profile"):
+            result = run_economy_profile(30, seed=2, resources=SMALL, thin=THIN)
+        assert result.config.oft_fraction == pytest.approx(0.3)
+
+    def test_run_experiment_3_warns_and_keys_by_profile(self):
+        with pytest.warns(DeprecationWarning, match="run_experiment_3"):
+            sweep = run_experiment_3(profiles=(0, 100), seed=2, resources=SMALL, thin=THIN)
+        assert sweep.profiles() == (0, 100)
+
+    def test_run_experiment_4_warns_and_reuses_sweep(self):
+        with pytest.warns(DeprecationWarning):
+            sweep = run_experiment_3(profiles=(0,), seed=2, resources=SMALL, thin=THIN)
+        with pytest.warns(DeprecationWarning, match="run_experiment_4"):
+            again = run_experiment_4(sweep=sweep)
+        assert again is sweep
+
+    def test_run_experiment_5_warns(self):
+        with pytest.warns(DeprecationWarning, match="run_experiment_5"):
+            points = run_experiment_5(system_sizes=(10,), profiles=(0,), seed=2, thin=30)
+        assert set(points) == {(10, 0)}
+
+
+class TestVariantShims:
+    def test_run_broadcast_federation_warns_and_delegates(self):
+        specs_a, workload_a = small_setup(seed=1)
+        specs_b, workload_b = small_setup(seed=1)
+        config = FederationConfig(mode=SharingMode.ECONOMY, seed=1)
+        with pytest.warns(DeprecationWarning, match="run_broadcast_federation"):
+            legacy = run_broadcast_federation(specs_a, workload_a, config)
+        modern = run_scenario(
+            Scenario(mode=SharingMode.ECONOMY, seed=1, agent="broadcast"),
+            specs=specs_b,
+            workload=workload_b,
+        )
+        assert fingerprint(legacy) == fingerprint(modern)
+
+    def test_run_coordinated_federation_warns_and_delegates(self):
+        specs_a, workload_a = small_setup(seed=1)
+        specs_b, workload_b = small_setup(seed=1)
+        config = FederationConfig(mode=SharingMode.ECONOMY, seed=1)
+        with pytest.warns(DeprecationWarning, match="run_coordinated_federation"):
+            legacy = run_coordinated_federation(specs_a, workload_a, config)
+        modern = run_scenario(
+            Scenario(mode=SharingMode.ECONOMY, seed=1, agent="coordinated"),
+            specs=specs_b,
+            workload=workload_b,
+        )
+        assert fingerprint(legacy) == fingerprint(modern)
+
+    def test_run_with_dynamic_pricing_warns_and_delegates(self):
+        specs_a, workload_a = small_setup(seed=2)
+        specs_b, workload_b = small_setup(seed=2)
+        config = FederationConfig(mode=SharingMode.ECONOMY, seed=2)
+        with pytest.warns(DeprecationWarning, match="run_with_dynamic_pricing"):
+            legacy = run_with_dynamic_pricing(specs_a, workload_a, config)
+        modern = run_scenario(
+            Scenario(mode=SharingMode.ECONOMY, seed=2, pricing="demand"),
+            specs=specs_b,
+            workload=workload_b,
+        )
+        assert fingerprint(legacy) == fingerprint(modern)
+
+    def test_shim_mode_errors_preserved(self):
+        specs, workload = small_setup()
+        independent = FederationConfig(mode=SharingMode.INDEPENDENT)
+        with pytest.raises(ValueError), pytest.warns(DeprecationWarning):
+            run_broadcast_federation(specs, workload, independent)
+        with pytest.raises(ValueError), pytest.warns(DeprecationWarning):
+            run_coordinated_federation(specs, workload, independent)

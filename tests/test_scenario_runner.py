@@ -1,0 +1,177 @@
+"""Tests for run_scenario and the parallel, memoised SweepRunner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import SharingMode
+from repro.scenario import Scenario, SweepRunner, run_scenario
+from repro.workload.archive import ARCHIVE_RESOURCES
+from repro.workload.job import JobStatus
+
+SMALL = ARCHIVE_RESOURCES[:4]
+THIN = 10
+
+
+def result_fingerprint(result):
+    """Deterministic summary used to compare runs for equality."""
+    return (
+        len(result.jobs),
+        tuple(sorted((j.job_id, j.status.name, j.executed_on) for j in result.jobs)),
+        result.message_log.total_messages,
+        tuple((name, round(o.incentive, 9)) for name, o in sorted(result.resources.items())),
+    )
+
+
+class TestRunScenario:
+    def test_runs_default_economy_scenario(self):
+        result = run_scenario(Scenario(thin=25, seed=2), resources=SMALL)
+        assert result.config.mode is SharingMode.ECONOMY
+        assert len(result.jobs) > 0
+        assert all(
+            j.status in (JobStatus.COMPLETED, JobStatus.REJECTED) for j in result.jobs
+        )
+
+    def test_agent_variant_is_used(self):
+        result = run_scenario(Scenario(agent="coordinated", thin=25, seed=2), resources=SMALL)
+        assert result.directory is not None
+        assert result.directory.load_updates > 0
+
+    def test_pricing_variant_is_used(self):
+        # Demand pricing republishes quotes; the run must still terminate.
+        result = run_scenario(Scenario(pricing="demand", thin=25, seed=2), resources=SMALL)
+        assert all(
+            j.status in (JobStatus.COMPLETED, JobStatus.REJECTED) for j in result.jobs
+        )
+
+    def test_system_size_replicates_resources(self):
+        result = run_scenario(Scenario(system_size=10, thin=30, seed=2))
+        assert len(result.specs) == 10
+
+    def test_identical_scenarios_identical_results(self):
+        scenario = Scenario(thin=20, seed=3)
+        first = run_scenario(scenario, resources=SMALL)
+        second = run_scenario(scenario, resources=SMALL)
+        assert result_fingerprint(first) == result_fingerprint(second)
+
+    def test_specs_without_workload_rejected(self):
+        with pytest.raises(ValueError, match="both specs and workload"):
+            run_scenario(Scenario(), specs=[])
+
+
+class TestSweepExpansion:
+    def test_profiles_and_sizes_cartesian_product(self):
+        runner = SweepRunner()
+        scenarios = runner.sweep(sizes=(10, 20), profiles=(0, 100))
+        assert [(s.system_size, s.oft_fraction) for s in scenarios] == [
+            (10, 0.0),
+            (10, 1.0),
+            (20, 0.0),
+            (20, 1.0),
+        ]
+
+    def test_plain_field_axis(self):
+        scenarios = SweepRunner().sweep(seed=(1, 2, 3))
+        assert [s.seed for s in scenarios] == [1, 2, 3]
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep axis"):
+            SweepRunner().sweep(flavour=("a", "b"))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="is empty"):
+            SweepRunner().sweep(profiles=())
+
+    def test_base_scenario_fields_preserved(self):
+        base = Scenario(agent="broadcast", thin=7)
+        scenarios = SweepRunner().sweep(base, profiles=(0, 100))
+        assert all(s.agent == "broadcast" and s.thin == 7 for s in scenarios)
+
+
+class TestSweepRunner:
+    def test_serial_equals_parallel(self):
+        scenarios = SweepRunner().sweep(Scenario(thin=THIN, seed=2), profiles=(0, 100))
+        serial = SweepRunner().run(scenarios, resources=SMALL)
+        parallel = SweepRunner().run(scenarios, resources=SMALL, workers=2)
+        assert len(serial) == len(parallel) == 2
+        for left, right in zip(serial.points, parallel.points):
+            assert left.scenario == right.scenario
+            assert result_fingerprint(left.result) == result_fingerprint(right.result)
+
+    def test_memoisation_skips_completed_points(self):
+        runner = SweepRunner()
+        scenarios = runner.sweep(Scenario(thin=25, seed=2), profiles=(0, 100))
+        first = runner.run(scenarios, resources=SMALL)
+        assert runner.executed_points == 2
+        second = runner.run(scenarios, resources=SMALL)
+        assert runner.executed_points == 2  # nothing re-ran
+        for left, right in zip(first.points, second.points):
+            assert left.result is right.result  # served from cache
+
+    def test_incremental_sweep_only_runs_new_points(self):
+        runner = SweepRunner()
+        runner.run(runner.sweep(Scenario(thin=25, seed=2), profiles=(0,)), resources=SMALL)
+        assert runner.executed_points == 1
+        runner.run(
+            runner.sweep(Scenario(thin=25, seed=2), profiles=(0, 100)), resources=SMALL
+        )
+        assert runner.executed_points == 2  # only the new point ran
+
+    def test_explicit_resources_change_the_cache_key(self):
+        runner = SweepRunner()
+        scenario = Scenario(thin=25, seed=2)
+        runner.run([scenario], resources=SMALL)
+        runner.run([scenario], resources=ARCHIVE_RESOURCES[:2])
+        assert runner.executed_points == 2
+
+    def test_same_names_different_resource_contents_do_not_share_cache(self):
+        import dataclasses
+
+        runner = SweepRunner()
+        scenario = Scenario(thin=25, seed=2)
+        runner.run([scenario], resources=SMALL)
+        faster = [dataclasses.replace(res, mips=res.mips * 2) for res in SMALL]
+        runner.run([scenario], resources=faster)
+        assert runner.executed_points == 2  # the modified clusters really ran
+
+    def test_clear_cache_forces_rerun(self):
+        runner = SweepRunner()
+        scenarios = [Scenario(thin=25, seed=2)]
+        runner.run(scenarios, resources=SMALL)
+        runner.clear_cache()
+        runner.run(scenarios, resources=SMALL)
+        assert runner.executed_points == 2
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="workers must be at least 1"):
+            SweepRunner(workers=0)
+
+    def test_sweep_result_accessors(self):
+        runner = SweepRunner()
+        scenarios = runner.sweep(Scenario(thin=25, seed=2), profiles=(0, 100))
+        sweep = runner.run(scenarios, resources=SMALL)
+        assert sweep.scenarios() == scenarios
+        assert len(sweep.results()) == 2
+        assert sweep[0].scenario == scenarios[0]
+        assert [s for s, _ in sweep] == scenarios
+
+
+class TestCliSweepDeterminism:
+    def test_gridfed_sweep_parallel_matches_serial_byte_for_byte(self, capsys):
+        from repro.cli import main
+
+        argv = ["sweep", "--profiles", "0", "100", "--thin", "30"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out
+        assert "Scenario sweep" in serial_out
+
+    def test_gridfed_run_broadcast_scenario(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "--agent", "broadcast", "--thin", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "agent=broadcast" in out
+        assert "incentive=" in out
