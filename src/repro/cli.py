@@ -10,6 +10,11 @@ scenarios from the shell::
     gridfed figure10 --sizes 10 20 --profiles 0 100 --thin 5
     gridfed table4                 # related-systems comparison
 
+    # hot-path performance benchmarks (directory queries, event kernel,
+    # Table-3 end to end) with a JSON report and CI regression gate:
+    gridfed bench --scale smoke --out BENCH_perf.json
+    gridfed bench --scale full --baseline benchmarks/BENCH_baseline.json
+
     # any registered scenario, declaratively:
     gridfed run --agent broadcast --thin 10
     gridfed run --pricing demand --oft 30
@@ -238,6 +243,35 @@ def cmd_sweep(args) -> str:
     return render_table(headers, rows, title=title)
 
 
+def cmd_bench(args) -> str:
+    from repro.perf import (
+        compare_to_baseline,
+        render_report,
+        run_benchmarks,
+        write_report,
+    )
+
+    report = run_benchmarks(args.scale, seed=args.seed)
+    path = write_report(report, args.out)
+    output = render_report(report) + f"\nreport written to {path}\n"
+    if args.baseline:
+        import json as _json
+        from pathlib import Path as _Path
+
+        try:
+            baseline = _json.loads(_Path(args.baseline).read_text(encoding="utf-8"))
+        except (OSError, _json.JSONDecodeError) as exc:
+            raise ValueError(f"cannot read baseline {args.baseline}: {exc}") from exc
+        problems = compare_to_baseline(report, baseline, max_regression=args.max_regression)
+        if problems:
+            raise ValueError(
+                "performance regression vs "
+                f"{args.baseline}:\n  " + "\n  ".join(problems)
+            )
+        output += f"baseline check passed ({args.baseline}, max {args.max_regression:.1f}x)\n"
+    return output
+
+
 _COMMANDS = {
     "table1": cmd_table1,
     "table2": cmd_table2,
@@ -249,6 +283,7 @@ _COMMANDS = {
     "figure10": cmd_figure10,
     "run": cmd_run,
     "sweep": cmd_sweep,
+    "bench": cmd_bench,
 }
 
 _COMMAND_HELP = {
@@ -262,6 +297,7 @@ _COMMAND_HELP = {
     "figure10": "message complexity vs system size (Figures 10-11)",
     "run": "run any registered scenario and print its processing table",
     "sweep": "run a profile/size sweep of a registered scenario (parallelisable)",
+    "bench": "hot-path perf benchmarks; writes BENCH_perf.json, optional regression gate",
 }
 
 
@@ -370,6 +406,37 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=None,
         help="optional system sizes to sweep (crossed with --profiles)",
+    )
+
+    from repro.perf import BENCH_SCALES
+
+    # No `parents=[common]`: bench workloads are fixed by --scale, so --thin
+    # and --workers would be accepted but ignored; only --seed applies.
+    bench_parser = subparsers.add_parser("bench", help=_COMMAND_HELP["bench"])
+    bench_parser.add_argument(
+        "--seed", type=int, default=42, help="workload / simulation seed"
+    )
+    bench_parser.add_argument(
+        "--scale",
+        default="smoke",
+        choices=sorted(BENCH_SCALES),
+        help="benchmark scale (smoke: seconds, for CI; full: the recorded trajectory)",
+    )
+    bench_parser.add_argument(
+        "--out",
+        default="BENCH_perf.json",
+        help="path of the JSON report to write",
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline BENCH_perf.json to gate against (exit 2 on regression)",
+    )
+    bench_parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=3.0,
+        help="fail when a tracked timing exceeds baseline by this factor",
     )
     return parser
 

@@ -30,6 +30,8 @@ class NodePool:
     the lowest-numbered free nodes, which keeps behaviour deterministic.
     """
 
+    __slots__ = ("_capacity", "_free", "_allocations")
+
     def __init__(self, capacity: int):
         if capacity < 1:
             raise AllocationError(f"capacity must be at least 1, got {capacity}")
@@ -99,7 +101,7 @@ class NodePool:
             nodes = self._allocations.pop(job_id)
         except KeyError:
             raise AllocationError(f"job {job_id} holds no allocation") from None
-        self._free.extend(sorted(nodes))
+        self._free.extend(nodes)
         self._free.sort()
         return nodes
 

@@ -153,47 +153,40 @@ class GridFederationAgent(Entity):
             self._accept_locally(job)
             return
         # Online scheduling over remote resources in decreasing speed order.
-        rank = 1
-        while True:
-            quote = self.directory.query(
-                rank_criterion_for(job), rank, min_processors=job.num_processors
-            )
-            if quote is None:
-                self._reject(job)
-                return
+        # The session resumes from the last matched rank on every probe, so
+        # the whole negotiation sequence costs one forward sweep of the
+        # directory instead of a fresh scan per round.
+        session = self.directory.open_session(
+            rank_criterion_for(job), min_processors=job.num_processors
+        )
+        for quote in session:
             job.negotiation_rounds += 1
             if quote.gfa_name == self.name:
-                rank += 1
                 continue  # local feasibility was already ruled out
             if self._negotiate(quote, job):
                 self._migrate(quote, job)
                 return
-            rank += 1
+        self._reject(job)
 
     def _schedule_economy(self, job: Job) -> None:
-        criterion = rank_criterion_for(job)
-        rank = 1
-        while True:
-            quote = self.directory.query(criterion, rank, min_processors=job.num_processors)
-            if quote is None:
-                self._reject(job)
-                return
+        session = self.directory.open_session(
+            rank_criterion_for(job), min_processors=job.num_processors
+        )
+        for quote in session:
             job.negotiation_rounds += 1
             # Budget feasibility is checked from the published quote alone —
             # no message is needed to rule a candidate out on cost.
             if job.budget is not None and execution_cost(job, quote.spec) > job.budget + 1e-9:
-                rank += 1
                 continue
             if quote.gfa_name == self.name:
                 if self.lrms.can_meet_deadline(job):
                     self._accept_locally(job)
                     return
-                rank += 1
                 continue
             if self._negotiate(quote, job):
                 self._migrate(quote, job)
                 return
-            rank += 1
+        self._reject(job)
 
     # ------------------------------------------------------------------ #
     # Placement helpers

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.workload.job import Job
 
@@ -77,6 +77,7 @@ class MessageLog:
     def __init__(self, keep_records: bool = False):
         self._per_gfa: Dict[str, GFAMessageCounters] = {}
         self._per_job: Dict[int, int] = {}
+        self._per_pair: Dict[Tuple[str, str], int] = {}
         self._by_type: Dict[MessageType, int] = {t: 0 for t in MessageType}
         self._records: List[Message] = []
         self._keep_records = keep_records
@@ -93,13 +94,19 @@ class MessageLog:
         job: Job,
         time: float = 0.0,
         origin_gfa: Optional[str] = None,
-    ) -> Message:
+    ) -> Optional[Message]:
         """Record one message exchanged while scheduling ``job``.
 
         ``origin_gfa`` identifies the GFA that owns the job (defaults to the
         GFA managing the job's origin cluster); the other endpoint is the
         remote party.  Messages whose two endpoints are the same GFA are a
         programming error — intra-GFA decisions are free.
+
+        This runs once per negotiate/reply/submission/completion message —
+        several times per scheduled job — so it only touches the per-GFA
+        counter objects of the two endpoints and builds a :class:`Message`
+        record solely when tracing (``keep_records=True``); the plain counting
+        path returns ``None``.
         """
         if sender == receiver:
             raise ValueError("inter-GFA messages require two distinct endpoints")
@@ -113,30 +120,47 @@ class MessageLog:
                 f"message endpoints ({sender!r}, {receiver!r}) do not include the "
                 f"job's origin GFA {origin!r}"
             )
-        message = Message(
-            mtype=mtype,
-            sender=sender,
-            receiver=receiver,
-            origin_gfa=origin,
-            remote_gfa=remote,
-            job_id=job.job_id,
-            time=time,
-        )
-        origin_counters = self._counters(origin)
-        remote_counters = self._counters(remote)
+        per_gfa = self._per_gfa
+        origin_counters = per_gfa.get(origin)
+        if origin_counters is None:
+            origin_counters = per_gfa[origin] = GFAMessageCounters()
+        remote_counters = per_gfa.get(remote)
+        if remote_counters is None:
+            remote_counters = per_gfa[remote] = GFAMessageCounters()
         origin_counters.local += 1
         origin_counters.by_type[mtype] += 1
         remote_counters.remote += 1
         remote_counters.by_type[mtype] += 1
-        self._counters(sender).sent += 1
-        self._counters(receiver).received += 1
+        # sender/receiver are exactly {origin, remote}: reuse the two counter
+        # objects already in hand instead of two more dict lookups.
+        if sender == origin:
+            origin_counters.sent += 1
+            remote_counters.received += 1
+        else:
+            remote_counters.sent += 1
+            origin_counters.received += 1
         self._by_type[mtype] += 1
-        self._per_job[job.job_id] = self._per_job.get(job.job_id, 0) + 1
+        job_id = job.job_id
+        per_job = self._per_job
+        per_job[job_id] = per_job.get(job_id, 0) + 1
+        pair = (origin, remote)
+        per_pair = self._per_pair
+        per_pair[pair] = per_pair.get(pair, 0) + 1
         job.messages += 1
         self.total_messages += 1
         if self._keep_records:
+            message = Message(
+                mtype=mtype,
+                sender=sender,
+                receiver=receiver,
+                origin_gfa=origin,
+                remote_gfa=remote,
+                job_id=job_id,
+                time=time,
+            )
             self._records.append(message)
-        return message
+            return message
+        return None
 
     def _counters(self, gfa_name: str) -> GFAMessageCounters:
         if gfa_name not in self._per_gfa:
@@ -181,6 +205,16 @@ class MessageLog:
     def per_gfa_totals(self) -> Dict[str, int]:
         """Mapping GFA name → total (local + remote) messages."""
         return {name: counters.total for name, counters in self._per_gfa.items()}
+
+    def pair_counts(self) -> Dict[Tuple[str, str], int]:
+        """Mapping ``(origin GFA, remote GFA)`` → messages exchanged for that
+        pairing (directional: the origin is the GFA whose job was being
+        scheduled)."""
+        return dict(self._per_pair)
+
+    def messages_between(self, origin_gfa: str, remote_gfa: str) -> int:
+        """Messages spent scheduling ``origin_gfa``'s jobs on ``remote_gfa``."""
+        return self._per_pair.get((origin_gfa, remote_gfa), 0)
 
     def records(self) -> List[Message]:
         """Individual message records (only if ``keep_records=True``)."""

@@ -15,18 +15,21 @@ rather than assuming it:
   rating) plus optional load reports used by the coordination extension.
 """
 
-from repro.p2p.overlay import SkipListIndex, OverlayError
+from repro.p2p.overlay import SkipListCursor, SkipListIndex, OverlayError
 from repro.p2p.directory import (
     DirectoryQuote,
+    DirectoryQuerySession,
     FederationDirectory,
     RankCriterion,
     theoretical_query_messages,
 )
 
 __all__ = [
+    "SkipListCursor",
     "SkipListIndex",
     "OverlayError",
     "DirectoryQuote",
+    "DirectoryQuerySession",
     "FederationDirectory",
     "RankCriterion",
     "theoretical_query_messages",

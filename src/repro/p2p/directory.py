@@ -17,13 +17,13 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.cluster.specs import ResourceSpec
-from repro.p2p.overlay import OverlayError, SkipListIndex
+from repro.p2p.overlay import OverlayError, SkipListCursor, SkipListIndex
 
 
 class RankCriterion(enum.Enum):
@@ -67,6 +67,139 @@ def theoretical_query_messages(system_size: int) -> int:
     return max(1, math.ceil(math.log2(system_size))) if system_size > 1 else 1
 
 
+class DirectoryQuerySession:
+    """A resumable per-job rank-query session.
+
+    The DBC superscheduler probes the directory for ranks ``1, 2, 3, ...``
+    under one ``(criterion, min_processors)`` filter while negotiating a
+    single job.  Answering each probe independently re-walks the overlay from
+    rank 1 (``O(k² · n)`` over a ``k``-round negotiation); a session instead
+    keeps a :class:`~repro.p2p.overlay.SkipListCursor` and the list of
+    filter-matching quotes seen so far, so the whole probe sequence costs one
+    forward sweep — ``O(log n + n)`` worst case, ``O(log n + k)`` typical.
+
+    Sessions are *version-stamped*: any subscribe / unsubscribe /
+    ``update_quote`` bumps the directory version and the next probe
+    transparently restarts its sweep, so results always equal what a fresh
+    :meth:`FederationDirectory.query` would return (dynamic pricing stays
+    correct).  Query accounting (query count, assumed ``O(log n)`` message
+    cost, measured overlay hops) is identical in structure to the one-shot
+    path: one probe equals one query.
+    """
+
+    __slots__ = (
+        "_directory",
+        "_index",
+        "criterion",
+        "min_processors",
+        "_matched",
+        "_cursor",
+        "_version",
+        "_exhausted",
+        "_served",
+    )
+
+    def __init__(
+        self,
+        directory: "FederationDirectory",
+        criterion: RankCriterion,
+        min_processors: int = 1,
+    ):
+        if min_processors < 1:
+            raise ValueError(f"min_processors must be at least 1, got {min_processors}")
+        self._directory = directory
+        self.criterion = criterion
+        self.min_processors = min_processors
+        self._index = directory._index_for(criterion)
+        self._matched: List[DirectoryQuote] = []
+        self._served = 0
+        self._restart()
+
+    def _restart(self) -> None:
+        self._version = self._directory.version
+        self._cursor: SkipListCursor = self._index.cursor()
+        self._matched.clear()
+        self._exhausted = False
+
+    def kth(self, rank: int) -> Optional[DirectoryQuote]:
+        """The ``rank``-th matching quote (1-based), or ``None`` when exhausted.
+
+        Same contract as :meth:`FederationDirectory.query`, but consecutive
+        calls resume the sweep from the last matched rank instead of
+        re-scanning.
+        """
+        if rank < 1:
+            raise ValueError(f"rank must be at least 1, got {rank}")
+        directory = self._directory
+        directory._account_query()
+        if self._version != directory.version:
+            self._restart()
+        matched = self._matched
+        if len(matched) < rank and not self._exhausted:
+            cursor = self._cursor
+            hops_before = cursor.hops
+            min_processors = self.min_processors
+            while len(matched) < rank:
+                item = cursor.advance()
+                if item is None:
+                    self._exhausted = True
+                    break
+                quote = item[1]
+                if quote.spec.num_processors >= min_processors:
+                    matched.append(quote)
+            directory._stats.measured_hops += cursor.hops - hops_before
+        return matched[rank - 1] if rank <= len(matched) else None
+
+    def next(self) -> Optional[DirectoryQuote]:
+        """The next matching quote in rank order (``None`` when exhausted)."""
+        self._served += 1
+        return self.kth(self._served)
+
+    def __iter__(self) -> Iterator[DirectoryQuote]:
+        while True:
+            quote = self.next()
+            if quote is None:
+                return
+            yield quote
+
+
+class _ScanQuerySession:
+    """Session facade over the legacy full-scan query path.
+
+    Used when :attr:`FederationDirectory.query_mode` is ``"scan"`` — every
+    probe pays the original ``kth(position)``-per-position cost.  This is the
+    pre-optimisation hot path, kept callable so the benchmark suite can time
+    old against new on identical runs and tests can use it as an oracle.
+    """
+
+    __slots__ = ("_directory", "criterion", "min_processors", "_served")
+
+    def __init__(
+        self,
+        directory: "FederationDirectory",
+        criterion: RankCriterion,
+        min_processors: int = 1,
+    ):
+        self._directory = directory
+        self.criterion = criterion
+        self.min_processors = min_processors
+        self._served = 0
+
+    def kth(self, rank: int) -> Optional[DirectoryQuote]:
+        return self._directory.scan_query(self.criterion, rank, self.min_processors)
+
+    def next(self) -> Optional[DirectoryQuote]:
+        self._served += 1
+        return self.kth(self._served)
+
+    def __iter__(self) -> Iterator[DirectoryQuote]:
+        while True:
+            quote = self.next()
+            if quote is None:
+                return
+            yield quote
+
+
 class FederationDirectory:
     """Decentralised quote directory shared by all GFAs of a federation.
 
@@ -77,6 +210,13 @@ class FederationDirectory:
         stream for reproducible hop counts).
     """
 
+    #: How :meth:`open_session` answers rank probes: ``"session"`` (resumable
+    #: cursor sweep, the default) or ``"scan"`` (the legacy re-scan path, kept
+    #: for benchmarking and oracle testing).  Class attribute so a whole run
+    #: can be flipped without threading a flag through every constructor;
+    #: assign on an instance to override locally.
+    query_mode: str = "session"
+
     def __init__(self, rng: Optional[np.random.Generator] = None):
         rng = rng if rng is not None else np.random.default_rng()
         self._by_price: SkipListIndex = SkipListIndex(rng=rng)
@@ -85,6 +225,10 @@ class FederationDirectory:
         self._load_reports: Dict[str, float] = {}
         self._stats = _QueryStats()
         self.load_updates: int = 0
+        #: Membership/quote version: bumped by subscribe, unsubscribe and
+        #: update_quote.  Stamps the ranking cache and open query sessions.
+        self._version: int = 0
+        self._ranking_cache: Dict[Tuple[RankCriterion, int], Tuple[int, List[DirectoryQuote]]] = {}
 
     # ------------------------------------------------------------------ #
     # Publication interface (subscribe / quote / unsubscribe)
@@ -97,12 +241,22 @@ class FederationDirectory:
         self._quotes[gfa_name] = quote
         self._by_price.insert((spec.price, gfa_name), quote)
         self._by_speed.insert((-spec.mips, gfa_name), quote)
+        self._version += 1
         return quote
 
     def update_quote(self, gfa_name: str, spec: ResourceSpec) -> DirectoryQuote:
-        """Refresh a GFA's quote (used by the dynamic-pricing extension)."""
+        """Refresh a GFA's quote (used by the dynamic-pricing extension).
+
+        Re-publishing is *not* a membership change: the GFA's latest load
+        report survives the update, so the coordination extension keeps its
+        pruning information when dynamic pricing re-quotes a resource.
+        """
+        load_report = self._load_reports.get(gfa_name)
         self.unsubscribe(gfa_name)
-        return self.subscribe(gfa_name, spec)
+        quote = self.subscribe(gfa_name, spec)
+        if load_report is not None:
+            self._load_reports[gfa_name] = load_report
+        return quote
 
     def unsubscribe(self, gfa_name: str) -> None:
         """Withdraw a GFA's quote from the federation."""
@@ -112,6 +266,7 @@ class FederationDirectory:
         self._by_price.remove((quote.spec.price, gfa_name))
         self._by_speed.remove((-quote.spec.mips, gfa_name))
         self._load_reports.pop(gfa_name, None)
+        self._version += 1
 
     def report_load(self, gfa_name: str, expected_wait: float) -> None:
         """Publish a load report (expected queue wait in seconds) for a GFA."""
@@ -125,6 +280,18 @@ class FederationDirectory:
     # ------------------------------------------------------------------ #
     # Query interface
     # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """Current membership/quote version (see sessions and ranking cache)."""
+        return self._version
+
+    def _index_for(self, criterion: RankCriterion) -> SkipListIndex:
+        return self._by_price if criterion is RankCriterion.CHEAPEST else self._by_speed
+
+    def _account_query(self) -> None:
+        self._stats.queries += 1
+        self._stats.assumed_messages += theoretical_query_messages(max(len(self._quotes), 1))
+
     def __len__(self) -> int:
         return len(self._quotes)
 
@@ -166,12 +333,38 @@ class FederationDirectory:
         DirectoryQuote or None
             ``None`` when fewer than ``rank`` clusters satisfy the filter —
             the signal that the DBC iteration is exhausted.
+
+        Notes
+        -----
+        One-shot queries are served from the version-stamped ranking cache:
+        the first probe under a ``(criterion, min_processors)`` filter since
+        the last membership change walks the overlay once, every further probe
+        is an ``O(1)`` list lookup.  Negotiation loops should prefer
+        :meth:`open_session`, which resumes instead of caching.
         """
         if rank < 1:
             raise ValueError(f"rank must be at least 1, got {rank}")
-        index = self._by_price if criterion is RankCriterion.CHEAPEST else self._by_speed
-        self._stats.queries += 1
-        self._stats.assumed_messages += theoretical_query_messages(max(len(self._quotes), 1))
+        self._account_query()
+        ranking = self._cached_ranking(criterion, min_processors)
+        return ranking[rank - 1] if rank <= len(ranking) else None
+
+    def scan_query(
+        self,
+        criterion: RankCriterion,
+        rank: int,
+        min_processors: int = 1,
+    ) -> Optional[DirectoryQuote]:
+        """:meth:`query` answered by the legacy full-scan path.
+
+        This is the pre-cursor implementation — every position is located with
+        an independent ``O(log n)`` ``kth`` descent and re-filtered, so a rank-
+        ``k`` probe costs ``O(n log n)``.  Kept as the benchmark baseline and
+        as the oracle the session/cache paths are property-tested against.
+        """
+        if rank < 1:
+            raise ValueError(f"rank must be at least 1, got {rank}")
+        index = self._index_for(criterion)
+        self._account_query()
 
         matched = 0
         for position in range(1, len(index) + 1):
@@ -183,10 +376,42 @@ class FederationDirectory:
                     return quote
         return None
 
+    def open_session(
+        self, criterion: RankCriterion, min_processors: int = 1
+    ) -> "DirectoryQuerySession":
+        """Open a resumable rank-query session (one per job negotiation).
+
+        Honours :attr:`query_mode`: the default ``"session"`` returns the
+        cursor-backed :class:`DirectoryQuerySession`; ``"scan"`` returns a
+        facade over :meth:`scan_query` that reproduces the legacy cost model.
+        """
+        if self.query_mode == "scan":
+            return _ScanQuerySession(self, criterion, min_processors)
+        return DirectoryQuerySession(self, criterion, min_processors)
+
+    def _cached_ranking(
+        self, criterion: RankCriterion, min_processors: int
+    ) -> List[DirectoryQuote]:
+        """The filtered ranking, rebuilt only after a membership change.
+
+        The rebuild's single level-0 sweep is charged to the measured hop
+        count; cache hits cost no hops, which is exactly the point.
+        """
+        key = (criterion, min_processors)
+        entry = self._ranking_cache.get(key)
+        if entry is not None and entry[0] == self._version:
+            return entry[1]
+        index = self._index_for(criterion)
+        ranking = [
+            quote for _key, quote in index.items() if quote.spec.num_processors >= min_processors
+        ]
+        self._stats.measured_hops += len(index)
+        self._ranking_cache[key] = (self._version, ranking)
+        return ranking
+
     def ranking(self, criterion: RankCriterion, min_processors: int = 1) -> List[DirectoryQuote]:
         """Full ranking under a criterion (used by reports and baselines)."""
-        index = self._by_price if criterion is RankCriterion.CHEAPEST else self._by_speed
-        return [quote for _key, quote in index.items() if quote.spec.num_processors >= min_processors]
+        return list(self._cached_ranking(criterion, min_processors))
 
     # ------------------------------------------------------------------ #
     # Accounting

@@ -13,7 +13,6 @@ compares against the paper's assumed ``log2(n)`` cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar
 
 import numpy as np
@@ -28,12 +27,68 @@ class OverlayError(RuntimeError):
     """Raised on invalid overlay operations (duplicate keys, bad ranks, ...)."""
 
 
-@dataclass
 class _Node(Generic[K, V]):
-    key: Any
-    value: Any
-    forward: List[Optional["_Node"]] = field(default_factory=list)
-    width: List[int] = field(default_factory=list)
+    """One skip-list element; slotted because federations allocate many."""
+
+    __slots__ = ("key", "value", "forward", "width")
+
+    def __init__(
+        self,
+        key: Any,
+        value: Any,
+        forward: Optional[List[Optional["_Node"]]] = None,
+        width: Optional[List[int]] = None,
+    ):
+        self.key = key
+        self.value = value
+        self.forward: List[Optional[_Node]] = [] if forward is None else forward
+        self.width: List[int] = [] if width is None else width
+
+
+class SkipListCursor(Generic[K, V]):
+    """A stateful forward cursor over a :class:`SkipListIndex`.
+
+    Seeking to a rank costs one ``O(log n)`` width-guided descent; every
+    subsequent :meth:`advance` follows a single level-0 link, so walking the
+    ranking from rank ``r`` to rank ``r + k`` costs ``O(log n + k)`` hops
+    instead of the ``O(k log n)`` that ``k`` independent :meth:`SkipListIndex.kth`
+    calls would pay.  This is the primitive behind the directory's resumable
+    query sessions.
+
+    A cursor is a *snapshot walker*: any insert or remove on the underlying
+    index invalidates it (checked via the index's mutation stamp), and further
+    use raises :class:`OverlayError` — callers are expected to re-seek.
+    """
+
+    __slots__ = ("_index", "_node", "_stamp", "hops", "rank")
+
+    def __init__(self, index: "SkipListIndex[K, V]", start_rank: int = 1):
+        if start_rank < 1:
+            raise OverlayError(f"start rank must be at least 1, got {start_rank}")
+        self._index = index
+        self._stamp = index.mutations
+        #: Links traversed by this cursor so far (seek descent + advances).
+        self.hops = 0
+        #: Rank of the element returned by the last :meth:`advance` (0 before).
+        self.rank = start_rank - 1
+        self._node = index._node_before(start_rank, self)
+
+    @property
+    def valid(self) -> bool:
+        """False once the underlying index has been mutated."""
+        return self._stamp == self._index.mutations
+
+    def advance(self) -> Optional[Tuple[K, V]]:
+        """Return the next ``(key, value)`` in rank order, or ``None`` at the end."""
+        if not self.valid:
+            raise OverlayError("cursor invalidated by index mutation; re-seek")
+        nxt = self._node.forward[0]
+        if nxt is None:
+            return None
+        self._node = nxt
+        self.hops += 1
+        self.rank += 1
+        return nxt.key, nxt.value
 
 
 class SkipListIndex(Generic[K, V]):
@@ -64,6 +119,9 @@ class SkipListIndex(Generic[K, V]):
         self.last_hops = 0
         self.total_hops = 0
         self.searches = 0
+        #: Structural mutation stamp; bumped on insert/remove so cursors can
+        #: detect that their node references went stale.
+        self.mutations = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -131,6 +189,7 @@ class SkipListIndex(Generic[K, V]):
         for lvl in range(new_level, self._level):
             update[lvl].width[lvl] += 1
         self._size += 1
+        self.mutations += 1
 
     def remove(self, key: K) -> V:
         """Remove a key and return its value; missing keys raise."""
@@ -154,6 +213,7 @@ class SkipListIndex(Generic[K, V]):
             self._head.width.pop()
             self._level -= 1
         self._size -= 1
+        self.mutations += 1
         return target.value
 
     # ------------------------------------------------------------------ #
@@ -187,6 +247,37 @@ class SkipListIndex(Generic[K, V]):
                 break
         self._record(hops)
         return node.key, node.value
+
+    def cursor(self, start_rank: int = 1) -> SkipListCursor[K, V]:
+        """Open a forward cursor positioned just before ``start_rank``.
+
+        The first :meth:`SkipListCursor.advance` returns the ``start_rank``-th
+        smallest element; each further advance costs one hop.  ``start_rank``
+        may exceed the current size, in which case the cursor is immediately
+        exhausted.
+        """
+        return SkipListCursor(self, start_rank)
+
+    def _node_before(self, rank: int, cursor: Optional[SkipListCursor] = None) -> _Node:
+        """Width-guided descent to the node *preceding* ``rank`` (1-based).
+
+        ``rank=1`` returns the head sentinel without traversing any link.  The
+        descent's hop count is charged to ``cursor`` when one is given.
+        """
+        node = self._head
+        hops = 0
+        remaining = rank - 1
+        if remaining > 0:
+            for lvl in range(self._level - 1, -1, -1):
+                while node.forward[lvl] is not None and node.width[lvl] <= remaining:
+                    remaining -= node.width[lvl]
+                    node = node.forward[lvl]
+                    hops += 1
+                if remaining == 0:
+                    break
+        if cursor is not None:
+            cursor.hops += hops
+        return node
 
     def rank_of(self, key: K) -> int:
         """1-based rank of ``key`` (raises if absent)."""

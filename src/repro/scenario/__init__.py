@@ -47,6 +47,7 @@ from repro.scenario.runner import (
     SweepResult,
     SweepRunner,
     resolve_resources,
+    result_fingerprint,
     run_scenario,
 )
 
@@ -65,5 +66,6 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "resolve_resources",
+    "result_fingerprint",
     "run_scenario",
 ]

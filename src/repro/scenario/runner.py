@@ -36,7 +36,62 @@ from repro.workload.archive import (
 )
 from repro.workload.job import Job, reset_job_counter
 
-__all__ = ["run_scenario", "SweepPoint", "SweepResult", "SweepRunner"]
+__all__ = [
+    "run_scenario",
+    "result_fingerprint",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
+]
+
+
+def result_fingerprint(result: FederationResult) -> str:
+    """Deterministic digest of everything the paper's tables read off a run.
+
+    Two runs with equal fingerprints produce byte-identical experiment
+    outputs: the digest covers every job's terminal state, placement, message
+    and negotiation counts and cost, plus per-resource utilisation, incentive
+    and message totals.  Used by the perf benchmark suite to prove that the
+    fast query path changes *when* answers are computed but never the answers
+    themselves, and by tests comparing serial against parallel sweeps.
+
+    Floats are rounded to 9 decimals before hashing so the digest is stable
+    across platforms with differing float repr, while still far below any
+    difference the rendered tables could show.
+    """
+    jobs = [
+        (
+            job.job_id,
+            job.status.name,
+            job.executed_on,
+            None if job.finish_time is None else round(job.finish_time, 9),
+            job.messages,
+            job.negotiation_rounds,
+            None if job.cost_paid is None else round(job.cost_paid, 9),
+        )
+        for job in result.jobs
+    ]
+    resources = [
+        (
+            name,
+            round(outcome.utilisation, 9),
+            round(outcome.incentive, 9),
+            outcome.local_messages,
+            outcome.remote_messages,
+            outcome.remote_jobs_processed,
+        )
+        for name, outcome in sorted(result.resources.items())
+    ]
+    blob = json.dumps(
+        {
+            "jobs": jobs,
+            "resources": resources,
+            "total_messages": result.message_log.total_messages,
+            "observation_period": round(result.observation_period, 9),
+        },
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def resolve_resources(

@@ -18,7 +18,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
 
@@ -30,13 +29,16 @@ class SimulationError(RuntimeError):
     """
 
 
-@dataclass(order=True)
 class ScheduledEvent:
     """A handle to a scheduled callback.
 
-    Instances are ordered by ``(time, priority, seq)`` so that the event heap
-    pops events in deterministic order.  The callback and its arguments are
-    excluded from comparisons.
+    Events are ordered by ``(time, priority, seq)`` so that the event heap
+    pops them in deterministic order; the heap itself stores bare
+    ``(time, priority, seq, event)`` tuples, so heap sifts compare raw floats
+    and ints (the unique ``seq`` guarantees the event object is never
+    compared).  The handle is slotted: federations schedule one event per job
+    arrival and per job completion, so allocation cost and footprint are on
+    the hot path.
 
     Attributes
     ----------
@@ -54,12 +56,32 @@ class ScheduledEvent:
         True once :meth:`Simulator.cancel` has been called on this handle.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "_queued")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple = (),
+        cancelled: bool = False,
+    ):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+        # True while the event sits unfired in the heap; the live pending
+        # counter only moves for events in this state.
+        self._queued = True
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"ScheduledEvent(time={self.time}, priority={self.priority}, "
+            f"seq={self.seq}, cancelled={self.cancelled})"
+        )
 
 
 class Simulator:
@@ -90,11 +112,14 @@ class Simulator:
         if not math.isfinite(start_time):
             raise SimulationError("start_time must be finite")
         self._now: float = float(start_time)
-        self._queue: list[ScheduledEvent] = []
+        # Heap entries are (time, priority, seq, event) tuples: comparisons
+        # during sift stay on primitives and never touch the event object.
+        self._queue: list[tuple[float, int, int, ScheduledEvent]] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        self._pending = 0  # live (scheduled, not fired, not cancelled) events
         self._trace = trace
 
     # ------------------------------------------------------------------ #
@@ -112,8 +137,12 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still waiting in the queue (including cancelled)."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        """Number of live (non-cancelled) events still waiting in the queue.
+
+        Maintained as a counter on schedule/cancel/fire, so reading it is
+        ``O(1)`` — entities may poll it every event (dynamic pricing does).
+        """
+        return self._pending
 
     def __len__(self) -> int:
         return self.pending
@@ -164,19 +193,25 @@ class Simulator:
             )
         if not callable(callback):
             raise SimulationError("callback must be callable")
-        event = ScheduledEvent(float(time), priority, next(self._seq), callback, tuple(args))
-        heapq.heappush(self._queue, event)
+        seq = next(self._seq)
+        event = ScheduledEvent(float(time), priority, seq, callback, tuple(args))
+        heapq.heappush(self._queue, (event.time, priority, seq, event))
+        self._pending += 1
         return event
 
     def cancel(self, event: ScheduledEvent) -> None:
         """Cancel a previously scheduled event.
 
         Cancelling the same handle twice raises :class:`SimulationError` to
-        surface double-cancellation bugs early.
+        surface double-cancellation bugs early.  Cancelling an event that has
+        already fired (or been drained) is a harmless no-op on the pending
+        count, as it always was.
         """
         if event.cancelled:
             raise SimulationError("event already cancelled")
         event.cancelled = True
+        if event._queued:
+            self._pending -= 1
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -187,12 +222,15 @@ class Simulator:
         Returns ``True`` if an event fired and ``False`` if the queue was
         empty.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            event = heapq.heappop(queue)[3]
+            event._queued = False
             if event.cancelled:
                 continue
             self._now = event.time
             self._events_processed += 1
+            self._pending -= 1
             if self._trace is not None:
                 self._trace(self._now, getattr(event.callback, "__qualname__", repr(event.callback)))
             event.callback(*event.args)
@@ -245,9 +283,10 @@ class Simulator:
     # ------------------------------------------------------------------ #
     def _peek(self) -> Optional[ScheduledEvent]:
         """Return the next non-cancelled event without popping it."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0] if self._queue else None
+        queue = self._queue
+        while queue and queue[0][3].cancelled:
+            heapq.heappop(queue)[3]._queued = False
+        return queue[0][3] if queue else None
 
     def drain(self) -> Iterator[ScheduledEvent]:
         """Pop and yield all remaining (non-cancelled) events without firing them.
@@ -255,8 +294,10 @@ class Simulator:
         Mainly useful for inspecting the end-of-run state in tests.
         """
         while self._queue:
-            event = heapq.heappop(self._queue)
+            event = heapq.heappop(self._queue)[3]
+            event._queued = False
             if not event.cancelled:
+                self._pending -= 1
                 yield event
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics

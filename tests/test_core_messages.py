@@ -90,6 +90,20 @@ class TestRecording:
         assert log.counters("nobody").total == 0
         assert log.messages_for_job(123456) == 0
 
+    def test_pair_counts_are_directional(self):
+        log = MessageLog()
+        job_a = make_job(origin="A")
+        job_b = make_job(origin="B")
+        log.record(MessageType.NEGOTIATE, "A", "B", job_a)
+        log.record(MessageType.REPLY, "B", "A", job_a)
+        log.record(MessageType.NEGOTIATE, "B", "A", job_b)
+        # The pair key is (origin, remote), not (sender, receiver): both the
+        # enquiry and its reply count towards scheduling A's job on B.
+        assert log.messages_between("A", "B") == 2
+        assert log.messages_between("B", "A") == 1
+        assert log.pair_counts() == {("A", "B"): 2, ("B", "A"): 1}
+        assert log.messages_between("A", "C") == 0
+
 
 class TestProperties:
     @given(
@@ -124,3 +138,8 @@ class TestProperties:
         assert sum(log.count_by_type(t) for t in MessageType) == recorded
         # per-GFA totals double-count each message (both endpoints).
         assert sum(log.per_gfa_totals().values()) == 2 * recorded
+        # Directional pair counts partition the total, and each pair's count
+        # equals the local tally of its origin restricted to that remote.
+        assert sum(log.pair_counts().values()) == recorded
+        for (origin, _remote), count in log.pair_counts().items():
+            assert count <= log.local_messages(origin)

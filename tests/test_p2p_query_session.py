@@ -1,0 +1,250 @@
+"""Property tests for the resumable directory query sessions and ranking cache.
+
+The hot-path optimisations (cursor sessions, version-stamped ranking cache)
+must be *observationally invisible*: every probe answers exactly what the
+naive sorted-scan oracle — an independent re-sort of the live quotes — says,
+across arbitrary interleavings of subscribe / unsubscribe / update_quote /
+probe.  The legacy ``scan_query`` path is held to the same oracle, so all
+three implementations are pinned to one semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.specs import ResourceSpec
+from repro.p2p import FederationDirectory, RankCriterion
+from repro.p2p.overlay import OverlayError, SkipListIndex
+
+
+def make_spec(name: str, price: float, mips: float, procs: int) -> ResourceSpec:
+    return ResourceSpec(
+        name=name, num_processors=procs, mips=mips, bandwidth_gbps=1.0, price=price
+    )
+
+
+def oracle_ranking(directory, criterion, min_processors):
+    """Naive sorted-scan oracle: re-sort the live quotes from scratch."""
+    quotes = [
+        q for q in directory.quotes() if q.spec.num_processors >= min_processors
+    ]
+    if criterion is RankCriterion.CHEAPEST:
+        quotes.sort(key=lambda q: (q.spec.price, q.gfa_name))
+    else:
+        quotes.sort(key=lambda q: (-q.spec.mips, q.gfa_name))
+    return quotes
+
+
+#: One directory operation: (kind, gfa index, price, mips, processors).
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["subscribe", "unsubscribe", "update", "probe"]),
+        st.integers(min_value=0, max_value=7),
+        st.floats(min_value=0.5, max_value=9.5),
+        st.floats(min_value=100.0, max_value=1000.0),
+        st.sampled_from([1, 2, 64, 512]),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestSessionMatchesOracle:
+    @given(ops=_ops, criterion=st.sampled_from(list(RankCriterion)))
+    @settings(max_examples=120, deadline=None)
+    def test_random_membership_churn(self, ops, criterion):
+        """Cached query, scan query and live sessions all match the oracle
+        across random subscribe/unsubscribe/update sequences."""
+        directory = FederationDirectory(rng=np.random.default_rng(0))
+        # One long-lived session per processor filter: deliberately kept open
+        # across membership churn to exercise the version-stamp restart.
+        open_sessions = {}
+        for kind, idx, price, mips, procs in ops:
+            name = f"GFA-{idx}"
+            price, mips = round(price, 3), round(mips, 1)
+            if kind == "subscribe" and name not in {q.gfa_name for q in directory.quotes()}:
+                directory.subscribe(name, make_spec(name, price, mips, procs))
+            elif kind == "unsubscribe" and name in {q.gfa_name for q in directory.quotes()}:
+                directory.unsubscribe(name)
+            elif kind == "update" and name in {q.gfa_name for q in directory.quotes()}:
+                directory.update_quote(name, make_spec(name, price, mips, procs))
+            elif kind == "probe":
+                min_processors = procs
+                expected = oracle_ranking(directory, criterion, min_processors)
+                session = open_sessions.setdefault(
+                    min_processors, directory.open_session(criterion, min_processors)
+                )
+                for rank in range(1, len(expected) + 2):
+                    want = expected[rank - 1].gfa_name if rank <= len(expected) else None
+                    got_session = session.kth(rank)
+                    got_cached = directory.query(criterion, rank, min_processors)
+                    got_scan = directory.scan_query(criterion, rank, min_processors)
+                    assert (got_session.gfa_name if got_session else None) == want
+                    assert (got_cached.gfa_name if got_cached else None) == want
+                    assert (got_scan.gfa_name if got_scan else None) == want
+
+    @given(
+        prefix=st.integers(min_value=1, max_value=6),
+        criterion=st.sampled_from(list(RankCriterion)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_session_survives_mid_iteration_churn(self, prefix, criterion):
+        """A session probed, invalidated by churn, then probed again answers
+        like a fresh query (the version stamp forces a transparent restart)."""
+        directory = FederationDirectory(rng=np.random.default_rng(1))
+        for i in range(8):
+            directory.subscribe(f"GFA-{i}", make_spec(f"GFA-{i}", 1.0 + i, 900.0 - 100 * i, 2**i))
+        session = directory.open_session(criterion)
+        for rank in range(1, prefix + 1):
+            session.kth(rank)
+        directory.unsubscribe("GFA-3")
+        directory.subscribe("GFA-9", make_spec("GFA-9", 0.1, 2000.0, 4))
+        expected = oracle_ranking(directory, criterion, 1)
+        for rank in range(1, len(expected) + 2):
+            want = expected[rank - 1].gfa_name if rank <= len(expected) else None
+            got = session.kth(rank)
+            assert (got.gfa_name if got else None) == want
+
+
+class TestRankingCache:
+    def test_cache_hit_serves_without_overlay_hops(self):
+        directory = FederationDirectory(rng=np.random.default_rng(0))
+        for i in range(16):
+            directory.subscribe(f"GFA-{i}", make_spec(f"GFA-{i}", 1.0 + i, 500.0, 4))
+        directory.query(RankCriterion.CHEAPEST, 1)  # builds the cache
+        hops_after_build = directory.measured_overlay_hops
+        for rank in range(1, 17):
+            directory.query(RankCriterion.CHEAPEST, rank)
+        assert directory.measured_overlay_hops == hops_after_build  # pure hits
+
+    def test_cache_invalidated_by_quote_update(self):
+        directory = FederationDirectory(rng=np.random.default_rng(0))
+        for i in range(4):
+            directory.subscribe(f"GFA-{i}", make_spec(f"GFA-{i}", 1.0 + i, 500.0, 4))
+        assert directory.query(RankCriterion.CHEAPEST, 1).gfa_name == "GFA-0"
+        directory.update_quote("GFA-3", make_spec("GFA-3", 0.01, 500.0, 4))
+        assert directory.query(RankCriterion.CHEAPEST, 1).gfa_name == "GFA-3"
+
+    def test_version_counts_membership_changes(self):
+        directory = FederationDirectory(rng=np.random.default_rng(0))
+        v0 = directory.version
+        directory.subscribe("A", make_spec("A", 1.0, 500.0, 4))
+        assert directory.version == v0 + 1
+        directory.update_quote("A", make_spec("A", 2.0, 500.0, 4))
+        assert directory.version == v0 + 3  # unsubscribe + subscribe
+        directory.unsubscribe("A")
+        assert directory.version == v0 + 4
+
+
+class TestUpdateQuoteLoadReport:
+    def test_update_quote_preserves_load_report(self):
+        """Re-quoting a GFA (dynamic pricing) must not drop its load report —
+        the coordination + dynamic-pricing combination depends on it."""
+        directory = FederationDirectory(rng=np.random.default_rng(0))
+        directory.subscribe("A", make_spec("A", 1.0, 500.0, 4))
+        directory.report_load("A", 120.0)
+        directory.update_quote("A", make_spec("A", 2.0, 500.0, 4))
+        assert directory.load_of("A") == pytest.approx(120.0)
+        assert directory.load_updates == 1  # a re-quote is not a new report
+
+    def test_unsubscribe_still_clears_load_report(self):
+        directory = FederationDirectory(rng=np.random.default_rng(0))
+        directory.subscribe("A", make_spec("A", 1.0, 500.0, 4))
+        directory.report_load("A", 60.0)
+        directory.unsubscribe("A")
+        directory.subscribe("A", make_spec("A", 1.0, 500.0, 4))
+        assert directory.load_of("A") == 0.0
+
+
+class TestSkipListCursor:
+    def test_cursor_walks_in_order_and_counts_hops(self):
+        index = SkipListIndex(rng=np.random.default_rng(0))
+        for i in range(32):
+            index.insert(i, f"v{i}")
+        cursor = index.cursor()
+        seen = []
+        while True:
+            item = cursor.advance()
+            if item is None:
+                break
+            seen.append(item[0])
+        assert seen == list(range(32))
+        assert cursor.hops == 32  # one level-0 link per element from the head
+
+    def test_cursor_seek_matches_kth(self):
+        index = SkipListIndex(rng=np.random.default_rng(0))
+        for i in range(64):
+            index.insert(i, i)
+        for start in (1, 2, 17, 40, 64):
+            cursor = index.cursor(start_rank=start)
+            key, _value = cursor.advance()
+            assert key == index.kth(start)[0]
+        assert index.cursor(start_rank=65).advance() is None
+
+    def test_cursor_invalidated_by_mutation(self):
+        index = SkipListIndex(rng=np.random.default_rng(0))
+        for i in range(8):
+            index.insert(i, i)
+        cursor = index.cursor()
+        cursor.advance()
+        index.remove(4)
+        assert not cursor.valid
+        with pytest.raises(OverlayError):
+            cursor.advance()
+
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=80, unique=True),
+        start=st.integers(min_value=1, max_value=80),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cursor_equals_sorted_tail(self, keys, start):
+        index = SkipListIndex(rng=np.random.default_rng(2))
+        for key in keys:
+            index.insert(key, key)
+        cursor = index.cursor(start_rank=start)
+        walked = []
+        while True:
+            item = cursor.advance()
+            if item is None:
+                break
+            walked.append(item[0])
+        assert walked == sorted(keys)[start - 1 :]
+
+
+class TestSweepDeterminismOnSessionPath:
+    def test_serial_equals_parallel_with_sessions(self):
+        """Serial and parallel sweeps fingerprint identically on the new
+        session query path (the default)."""
+        from repro.scenario import Scenario, SweepRunner, result_fingerprint
+        from repro.workload.archive import ARCHIVE_RESOURCES
+
+        assert FederationDirectory.query_mode == "session"
+        small = ARCHIVE_RESOURCES[:4]
+        scenarios = SweepRunner().sweep(Scenario(thin=12, seed=5), profiles=(0, 100))
+        serial = SweepRunner().run(scenarios, resources=small)
+        parallel = SweepRunner().run(scenarios, resources=small, workers=2)
+        for left, right in zip(serial.points, parallel.points):
+            assert result_fingerprint(left.result) == result_fingerprint(right.result)
+
+    def test_scan_and_session_modes_fingerprint_identically(self):
+        """The legacy scan mode and the session mode produce byte-identical
+        experiment results on a real (small) federation run."""
+        from repro.scenario import Scenario, result_fingerprint, run_scenario
+        from repro.workload.archive import ARCHIVE_RESOURCES
+
+        small = ARCHIVE_RESOURCES[:4]
+        scenario = Scenario(thin=12, seed=5)
+        digests = {}
+        previous = FederationDirectory.query_mode
+        try:
+            for mode in ("scan", "session"):
+                FederationDirectory.query_mode = mode
+                digests[mode] = result_fingerprint(
+                    run_scenario(scenario, resources=small)
+                )
+        finally:
+            FederationDirectory.query_mode = previous
+        assert digests["scan"] == digests["session"]

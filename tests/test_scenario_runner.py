@@ -5,22 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.core.policies import SharingMode
-from repro.scenario import Scenario, SweepRunner, run_scenario
+from repro.scenario import Scenario, SweepRunner, result_fingerprint, run_scenario
 from repro.workload.archive import ARCHIVE_RESOURCES
 from repro.workload.job import JobStatus
 
 SMALL = ARCHIVE_RESOURCES[:4]
 THIN = 10
-
-
-def result_fingerprint(result):
-    """Deterministic summary used to compare runs for equality."""
-    return (
-        len(result.jobs),
-        tuple(sorted((j.job_id, j.status.name, j.executed_on) for j in result.jobs)),
-        result.message_log.total_messages,
-        tuple((name, round(o.incentive, 9)) for name, o in sorted(result.resources.items())),
-    )
 
 
 class TestRunScenario:

@@ -112,6 +112,56 @@ class TestCancellation:
         assert len(sim) == 1
         del keep
 
+    def test_pending_counter_tracks_schedule_fire_cancel(self):
+        """pending is a live counter: exact through schedules, fires, cancels
+        and drains (it used to be an O(n) scan of the heap)."""
+        sim = Simulator()
+        handles = [sim.schedule(float(i), lambda: None) for i in range(10)]
+        assert sim.pending == 10
+        sim.cancel(handles[3])
+        sim.cancel(handles[7])
+        assert sim.pending == 8
+        sim.step()
+        assert sim.pending == 7
+        sim.run()
+        assert sim.pending == 0
+
+    def test_pending_counter_with_drain(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        drop = sim.schedule(9.0, lambda: None)
+        sim.cancel(drop)
+        assert sim.pending == 5
+        assert len(list(sim.drain())) == 5
+        assert sim.pending == 0
+
+    def test_cancel_after_fire_does_not_corrupt_pending(self):
+        """Cancelling a handle whose event already fired (or drained) is a
+        no-op on the live counter — it must never go negative."""
+        sim = Simulator()
+        fired_handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.cancel(fired_handle)  # late cancel: allowed, counter untouched
+        assert sim.pending == 0
+        assert len(sim) == 0
+        with pytest.raises(SimulationError):
+            sim.cancel(fired_handle)  # but double-cancel still raises
+        drained_handle = sim.schedule(1.0, lambda: None)
+        assert list(sim.drain())
+        sim.cancel(drained_handle)
+        assert sim.pending == 0
+
+    def test_pending_visible_from_callbacks(self):
+        """Entities poll pending mid-run (dynamic pricing does) — the counter
+        must not count the currently-firing event."""
+        sim = Simulator()
+        observed = []
+        sim.schedule(1.0, lambda: observed.append(sim.pending))
+        sim.schedule(2.0, lambda: observed.append(sim.pending))
+        sim.run()
+        assert observed == [1, 0]
+
 
 class TestRunControl:
     def test_run_until_stops_before_future_events(self):
