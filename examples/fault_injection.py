@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Fault injection: crash clusters mid-run and watch the federation heal.
+
+The paper evaluates the Grid-Federation on a static, failure-free testbed.
+This example perturbs the same workload three ways and compares outcomes:
+
+1. the fault-free baseline,
+2. a hand-written plan — a hard crash of the busiest cluster while it hosts
+   remote work, graceful directory churn, a load spike and a lossy network,
+3. the seeded built-in ``"chaos"`` variant through the Scenario API.
+
+Every run executes with ``validate=True``: the simulation-invariant harness
+(job conservation, budget/message accounting, directory consistency, fault
+attribution) is re-checked after each fault event and over the final result.
+
+Run it with::
+
+    python examples/fault_injection.py
+"""
+
+from __future__ import annotations
+
+from repro import FaultPlan, Scenario, run_scenario
+from repro.metrics.collectors import fault_metrics
+from repro.metrics.report import render_table
+
+#: Compressed submission window so the eight clusters are over-subscribed —
+#: otherwise nothing migrates and a crash has nobody to hurt.
+HORIZON = 6 * 3600.0
+
+BASE = Scenario(
+    mode="economy", oft_fraction=0.3, workload="synthetic", horizon=HORIZON, thin=10, seed=42
+)
+
+#: Crash the cluster that hosts the most remote work right while it is busy;
+#: peers discover the death through negotiation timeouts, killed remote jobs
+#: are re-negotiated at their origin GFA.
+HANDCRAFTED = (
+    FaultPlan()
+    .crash("LANL Origin", at=5_000.0, duration=9_000.0)
+    .leave("SDSC Blue", at=2_000.0)
+    .rejoin("SDSC Blue", at=15_000.0)
+    .load_spike("NASA iPSC", at=3_000.0, duration=4_000.0, fraction=0.75)
+    .perturb(0.0, 2 * HORIZON, loss_rate=0.05, submission_delay=45.0)
+)
+
+
+def main() -> None:
+    runs = [
+        ("fault-free", run_scenario(BASE, validate=True)),
+        ("handcrafted plan", run_scenario(BASE, fault_plan=HANDCRAFTED, validate=True)),
+        ("chaos variant", run_scenario(BASE.replace(faults="chaos"), validate=True)),
+    ]
+    rows = []
+    for label, result in runs:
+        metrics = fault_metrics(result)
+        rows.append(
+            [
+                label,
+                len(result.completed_jobs()),
+                len(result.rejected_jobs()),
+                metrics.jobs_lost,
+                metrics.renegotiations,
+                metrics.negotiation_timeouts,
+                f"{metrics.total_downtime:.0f}",
+                f"{100 * metrics.sla_violation_rate:.1f}%",
+            ]
+        )
+    print(
+        render_table(
+            ["Run", "Completed", "Rejected", "Lost", "Renegotiated", "Timeouts", "Downtime s", "SLA viol."],
+            rows,
+            title="Grid-Federation under faults (all invariants validated)",
+        )
+    )
+    report = runs[1][1].faults
+    print(f"handcrafted plan downtime by cluster: {report.downtime}")
+    print(f"dead members discovered by peers:     {report.discovered_dead or '(none)'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,12 @@ Parameter sweeps run in parallel and memoise completed points::
     for scenario, result in runner.run(scenarios):
         print(scenario.describe(), result.total_incentive())
 
+Clusters can fail, rejoin and degrade mid-run, with every simulation
+invariant checked under churn — see ``docs/TESTING.md``::
+
+    result = run_scenario(Scenario(faults="crash-recover"), validate=True)
+    print(result.faults.downtime, result.faults.renegotiations)
+
 New variants register in ten lines — see ``docs/API.md``::
 
     from repro import register_agent, GridFederationAgent
@@ -54,17 +60,20 @@ from repro.core import (
 from repro.cluster import ResourceSpec, SpaceSharedLRMS, SchedulingPolicy
 from repro.economy import GridBank, StaticPricingPolicy, DemandDrivenPricingPolicy
 from repro.p2p import FederationDirectory, RankCriterion
+from repro.faults import FaultPlan, random_fault_plan
 from repro.scenario import (
     Scenario,
     SweepResult,
     SweepRunner,
     UnknownVariantError,
     register_agent,
+    register_fault,
     register_pricing,
     register_workload,
     run_scenario,
     scenario_from_config,
 )
+from repro.validate import InvariantViolation, assert_valid, validate_result
 from repro.sim import RandomStreams, Simulator
 from repro.workload import (
     Job,
@@ -90,10 +99,16 @@ __all__ = [
     "SweepRunner",
     "UnknownVariantError",
     "register_agent",
+    "register_fault",
     "register_pricing",
     "register_workload",
     "run_scenario",
     "scenario_from_config",
+    "FaultPlan",
+    "random_fault_plan",
+    "InvariantViolation",
+    "assert_valid",
+    "validate_result",
     "ResourceSpec",
     "SpaceSharedLRMS",
     "SchedulingPolicy",

@@ -21,7 +21,6 @@ from typing import Mapping, Optional, Sequence
 from repro.cluster.specs import ResourceSpec, execution_cost
 from repro.core.federation import Federation, FederationConfig, FederationResult
 from repro.core.gfa import GridFederationAgent
-from repro.core.messages import MessageType
 from repro.core.policies import SharingMode
 from repro.workload.job import Job
 
@@ -49,6 +48,10 @@ class BroadcastGFA(GridFederationAgent):
         if self.spec.can_run(job) and self.lrms.can_meet_deadline(job):
             self._accept_locally(job)
             return
+        if not self.joined:
+            # Departed from the federation: broadcast has nobody to ask.
+            self._reject(job)
+            return
         best_name: Optional[str] = None
         best_completion = float("inf")
         for quote in self.directory.quotes():
@@ -56,14 +59,9 @@ class BroadcastGFA(GridFederationAgent):
                 continue
             remote: GridFederationAgent = self.registry.lookup(quote.gfa_name)
             job.negotiation_rounds += 1
-            self.stats.negotiations_sent += 1
-            self.message_log.record(
-                MessageType.NEGOTIATE, self.name, remote.name, job, time=self.sim.now
-            )
-            decision = remote.handle_admission_request(job)
-            self.message_log.record(
-                MessageType.REPLY, remote.name, self.name, job, time=self.sim.now
-            )
+            decision = self._enquire(remote, job)
+            if decision is None:
+                continue  # timed out: dead peer or lost round trip
             if not decision.accepted:
                 self.stats.negotiations_refused += 1
                 continue

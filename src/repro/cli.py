@@ -19,6 +19,10 @@ scenarios from the shell::
     gridfed run --agent broadcast --thin 10
     gridfed run --pricing demand --oft 30
 
+    # fault injection and the runtime invariant checker:
+    gridfed run --faults crash-recover --thin 10 --validate
+    gridfed sweep --faults chaos --profiles 0 50 100 --thin 10
+
     # parameter sweeps, parallel and memo-hashed:
     gridfed sweep --profiles 0 10 20 30 40 50 60 70 80 90 100 --workers 4
     gridfed sweep --sizes 10 20 30 --profiles 0 100 --thin 5 --workers 4
@@ -45,13 +49,19 @@ from repro.experiments import (
 from repro.experiments.exp4_messages import message_complexity_rows
 from repro.experiments.exp5_scalability import scalability_rows, scalability_sweep
 from repro.metrics.collectors import (
+    fault_metrics,
     incentive_by_resource,
     remote_jobs_serviced,
     resource_processing_table,
     user_qos_summary,
 )
 from repro.metrics.report import render_table
-from repro.scenario import AGENT_REGISTRY, PRICING_REGISTRY, WORKLOAD_REGISTRY
+from repro.scenario import (
+    AGENT_REGISTRY,
+    FAULT_REGISTRY,
+    PRICING_REGISTRY,
+    WORKLOAD_REGISTRY,
+)
 from repro.scenario import Scenario, SweepRunner, UnknownVariantError, run_scenario
 from repro.workload.archive import ARCHIVE_RESOURCES
 
@@ -181,12 +191,13 @@ def _scenario_from_args(args, oft_pct: Optional[float] = None) -> Scenario:
         seed=args.seed,
         thin=args.thin,
         system_size=args.size,
+        faults=args.faults,
     )
 
 
 def cmd_run(args) -> str:
     scenario = _scenario_from_args(args)
-    result = run_scenario(scenario)
+    result = run_scenario(scenario, validate=args.validate)
     table = render_table(
         _PROCESSING_HEADERS,
         _processing_rows(result),
@@ -199,6 +210,17 @@ def cmd_run(args) -> str:
         f"messages={result.message_log.total_messages} "
         f"events={result.events_processed}\n"
     )
+    if result.faults is not None:
+        fm = fault_metrics(result)
+        summary += (
+            f"faults: crashes={fm.crashes} departures={fm.departures} "
+            f"spikes={fm.load_spikes} timeouts={fm.negotiation_timeouts} "
+            f"renegotiated={fm.renegotiations} lost={fm.jobs_lost} "
+            f"downtime={fm.total_downtime:.0f}s "
+            f"sla_violations={fm.sla_violation_rate:.3f}\n"
+        )
+    if args.validate:
+        summary += "invariants: all checks passed\n"
     return table + summary
 
 
@@ -210,6 +232,7 @@ def cmd_sweep(args) -> str:
         workload=args.workload,
         seed=args.seed,
         thin=args.thin,
+        faults=args.faults,
     )
     runner = SweepRunner(workers=args.workers)
     if args.sizes:
@@ -323,6 +346,11 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
         choices=["independent", "federation", "economy"],
         help="sharing environment",
     )
+    parser.add_argument(
+        "--faults",
+        default="none",
+        help=f"fault variant ({', '.join(FAULT_REGISTRY.available())})",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -389,6 +417,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="federation size via Table 1 replication (default: the 8 Table 1 resources)",
+    )
+    run_parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="runtime assertion mode: check every simulation invariant "
+        "(fails loudly on the first breach)",
     )
 
     sweep_parser = subparsers.add_parser("sweep", parents=[common], help=_COMMAND_HELP["sweep"])

@@ -25,7 +25,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.cluster.machine import NodePool
 from repro.cluster.profile import AvailabilityProfile
 from repro.cluster.specs import ResourceSpec, execution_time
-from repro.sim.engine import Simulator
+from repro.sim.engine import ScheduledEvent, Simulator
 from repro.workload.job import Job, JobStatus
 
 
@@ -66,6 +66,9 @@ class SpaceSharedLRMS:
         self.nodes = NodePool(spec.num_processors)
         self._queue: List[Job] = []
         self._running: Dict[int, Tuple[Job, float]] = {}  # job_id -> (job, finish time)
+        # Finish-event handles so a crash (fail_all) can cancel in-flight
+        # completions; empty overhead on the no-fault path.
+        self._finish_events: Dict[int, "ScheduledEvent"] = {}
         # Completion-estimate cache: rebuilt lazily whenever the set of
         # running/queued jobs changes (admission control may probe the same
         # state many times between changes).
@@ -194,10 +197,11 @@ class SpaceSharedLRMS:
         job.mark_running(self.sim.now)
         finish = self.sim.now + runtime
         self._running[job.job_id] = (job, finish)
-        self.sim.schedule(runtime, self._finish, job.job_id)
+        self._finish_events[job.job_id] = self.sim.schedule(runtime, self._finish, job.job_id)
 
     def _finish(self, job_id: int) -> None:
         self._state_version += 1
+        self._finish_events.pop(job_id, None)
         job, _finish = self._running.pop(job_id)
         self.nodes.release(job_id)
         started = job.start_time if job.start_time is not None else self.sim.now
@@ -209,6 +213,35 @@ class SpaceSharedLRMS:
         self._dispatch()
         if self.on_job_complete is not None:
             self.on_job_complete(job)
+
+    # ------------------------------------------------------------------ #
+    # Fault injection
+    # ------------------------------------------------------------------ #
+    def fail_all(self) -> List[Job]:
+        """Crash the cluster: kill running jobs, drop the queue, free nodes.
+
+        Every running job's finish event is cancelled and its nodes released;
+        node-seconds consumed up to the crash instant still count towards
+        utilisation (the processors *were* busy).  Queued jobs are returned
+        untouched behind the killed running jobs.  The fate of the returned
+        jobs (re-negotiation or fault-attributed failure) is the caller's —
+        i.e. the :class:`~repro.faults.injector.FaultInjector`'s — decision.
+        """
+        now = self.sim.now
+        killed: List[Job] = []
+        for job_id, (job, _finish) in self._running.items():
+            handle = self._finish_events.pop(job_id, None)
+            if handle is not None and not handle.cancelled:
+                self.sim.cancel(handle)
+            self.nodes.release(job_id)
+            started = job.start_time if job.start_time is not None else now
+            self.busy_node_seconds += job.num_processors * (now - started)
+            killed.append(job)
+        self._running.clear()
+        killed.extend(self._queue)
+        self._queue.clear()
+        self._state_version += 1
+        return killed
 
     # ------------------------------------------------------------------ #
     # Admission-control estimate

@@ -10,7 +10,7 @@ metrics package and the experiment drivers need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
 
 from repro.cluster.lrms import SchedulingPolicy
 from repro.cluster.specs import ResourceSpec
@@ -25,6 +25,11 @@ from repro.sim.entity import EntityRegistry
 from repro.sim.rng import RandomStreams
 from repro.workload.job import Job, JobStatus, QoSStrategy
 from repro.workload.qos import assign_qos, assign_strategies
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector, FaultReport
+    from repro.faults.plan import FaultPlan
+    from repro.validate import RuntimeValidator
 
 
 @dataclass
@@ -101,6 +106,8 @@ class FederationResult:
     directory: Optional[FederationDirectory]
     observation_period: float
     events_processed: int
+    #: Fault accounting (``None`` on the zero-fault path).
+    faults: Optional["FaultReport"] = None
 
     # ------------------------------------------------------------------ #
     # Convenience queries used throughout metrics / experiments / benches
@@ -116,6 +123,10 @@ class FederationResult:
     def rejected_jobs(self) -> List[Job]:
         """All jobs dropped by the superscheduler."""
         return [job for job in self.jobs if job.status is JobStatus.REJECTED]
+
+    def failed_jobs(self) -> List[Job]:
+        """All jobs attributably lost to injected faults."""
+        return [job for job in self.jobs if job.status is JobStatus.FAILED]
 
     def total_incentive(self) -> float:
         """Grid Dollars earned by all resource owners together."""
@@ -192,6 +203,48 @@ class Federation:
             population = UserPopulation(self.sim, self.registry, spec.name, self.workload[spec.name])
             self.populations[spec.name] = population
         self._ran = False
+        self._fault_injector: Optional["FaultInjector"] = None
+        self._validator: Optional["RuntimeValidator"] = None
+
+    # ------------------------------------------------------------------ #
+    # Fault injection and runtime validation (both opt-in)
+    # ------------------------------------------------------------------ #
+    def install_faults(self, plan: "FaultPlan") -> "FaultInjector":
+        """Attach a fault injector driving ``plan`` during :meth:`run`.
+
+        Must be called before :meth:`run`; installing an *empty* plan is
+        allowed but pointless — callers normally skip it so that the
+        zero-fault path stays byte-identical to a plain federation.
+        """
+        if self._ran:
+            raise RuntimeError("cannot install faults after the federation ran")
+        if self._fault_injector is not None:
+            raise RuntimeError("a fault plan is already installed")
+        from repro.faults.injector import FaultInjector
+
+        self._fault_injector = FaultInjector(self, plan)
+        if self._validator is not None:
+            self._fault_injector.validator = self._validator
+        return self._fault_injector
+
+    def install_validator(self, validator: Optional["RuntimeValidator"] = None) -> "RuntimeValidator":
+        """Attach a runtime validator (simulation-invariant assertion mode).
+
+        The validator re-checks the fault-consistency invariants after every
+        applied fault event and runs the full invariant suite on the result
+        before :meth:`run` returns, raising
+        :class:`repro.validate.InvariantViolation` on the first breach.
+        """
+        if self._ran:
+            raise RuntimeError("cannot install a validator after the federation ran")
+        if validator is None:
+            from repro.validate import RuntimeValidator
+
+            validator = RuntimeValidator()
+        self._validator = validator
+        if self._fault_injector is not None:
+            self._fault_injector.validator = validator
+        return validator
 
     # ------------------------------------------------------------------ #
     # Preparation
@@ -219,6 +272,10 @@ class Federation:
         if self._ran:
             raise RuntimeError("a Federation instance can only be run once")
         self._ran = True
+        if self._fault_injector is not None:
+            # Faults are scheduled first so that, at equal timestamps, a
+            # fault applies before the job submissions of that instant.
+            self._fault_injector.start()
         for population in self.populations.values():
             population.start()
         self.sim.run()
@@ -254,7 +311,12 @@ class Federation:
                 remote_messages=counters.remote,
             )
 
-        return FederationResult(
+        faults = (
+            self._fault_injector.report(observation_period)
+            if self._fault_injector is not None
+            else None
+        )
+        result = FederationResult(
             config=self.config,
             specs=self.specs,
             jobs=all_jobs,
@@ -264,7 +326,11 @@ class Federation:
             directory=self.directory,
             observation_period=observation_period,
             events_processed=self.sim.events_processed,
+            faults=faults,
         )
+        if self._validator is not None:
+            self._validator.validate_end(self, result)
+        return result
 
 
 def run_federation(

@@ -18,12 +18,15 @@ shared :class:`~repro.core.messages.MessageLog`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.cluster.lrms import SchedulingPolicy, SpaceSharedLRMS
 from repro.cluster.specs import ResourceSpec, execution_cost
-from repro.core.admission import AdmissionController
+from repro.core.admission import AdmissionController, AdmissionDecision
 from repro.core.messages import MessageLog, MessageType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
 from repro.core.policies import SharingMode, rank_criterion_for
 from repro.economy.bank import GridBank
 from repro.p2p.directory import DirectoryQuote, FederationDirectory
@@ -44,6 +47,11 @@ class GFAStatistics:
     rejected: int = 0
     negotiations_sent: int = 0
     negotiations_refused: int = 0
+    #: Enquiries that never received a reply (dead peer or lost message);
+    #: stays zero unless a fault plan is active.
+    negotiation_timeouts: int = 0
+    #: Jobs re-entering superscheduling after their host crashed.
+    resubmitted: int = 0
 
     @property
     def accepted_total(self) -> int:
@@ -109,11 +117,22 @@ class GridFederationAgent(Entity):
         self.stats = GFAStatistics()
         #: origin GFA name of every remote job currently hosted here
         self._remote_job_origins: Dict[int, str] = {}
+        # Fault state: untouched (and cost-free) unless an injector attaches.
+        #: False while the cluster is crashed.
+        self.alive: bool = True
+        #: False while the cluster has gracefully left the federation.
+        self.joined: bool = False
+        #: The attached fault injector (None on the zero-fault path).
+        self.faults: Optional["FaultInjector"] = None
+        #: Closed ``(down_since, up_again)`` crash windows.
+        self.downtime_intervals: List[Tuple[float, float]] = []
+        self._down_since: Optional[float] = None
         message_log.register_gfa(self.name)
         if mode is not SharingMode.INDEPENDENT:
             if directory is None:
                 raise ValueError(f"{mode.value} mode requires a federation directory")
             directory.subscribe(self.name, spec)
+            self.joined = True
 
     # ------------------------------------------------------------------ #
     # Event interface (used by UserPopulation entities)
@@ -134,7 +153,33 @@ class GridFederationAgent(Entity):
                 f"job {job.job_id} originates at {job.origin!r}, not at {self.name!r}"
             )
         self.stats.submitted_local += 1
+        if not self.alive:
+            # The cluster is down: its local users cannot reach their GFA, so
+            # the submission is attributably lost to the fault.
+            job.mark_failed(self.sim.now, f"origin cluster {self.name} down at submission")
+            if self.faults is not None:
+                self.faults.note_job_lost(job)
+            return
         job.status = JobStatus.SUBMITTED
+        self._dispatch_local(job)
+
+    def resubmit_job(self, job: Job) -> None:
+        """Re-run superscheduling for a job bounced back by a remote crash.
+
+        The job keeps its identity, QoS parameters and message history but
+        loses its placement; it may land locally, on a different remote
+        cluster, or be rejected if its deadline is no longer attainable.
+        """
+        if not self.alive:
+            job.mark_failed(self.sim.now, f"origin cluster {self.name} down at re-negotiation")
+            if self.faults is not None:
+                self.faults.note_job_lost(job)
+            return
+        self.stats.resubmitted += 1
+        job.prepare_resubmission()
+        self._dispatch_local(job)
+
+    def _dispatch_local(self, job: Job) -> None:
         if self.mode is SharingMode.INDEPENDENT:
             self._schedule_independent(job)
         elif self.mode is SharingMode.FEDERATION:
@@ -151,6 +196,10 @@ class GridFederationAgent(Entity):
     def _schedule_federation(self, job: Job) -> None:
         if self.spec.can_run(job) and self.lrms.can_meet_deadline(job):
             self._accept_locally(job)
+            return
+        if not self.joined:
+            # Departed from the federation: no directory, no remote candidates.
+            self._reject(job)
             return
         # Online scheduling over remote resources in decreasing speed order.
         # The session resumes from the last matched rank on every probe, so
@@ -169,6 +218,21 @@ class GridFederationAgent(Entity):
         self._reject(job)
 
     def _schedule_economy(self, job: Job) -> None:
+        if not self.joined:
+            # Departed: fall back to local-only scheduling under the same
+            # budget/deadline admission the DBC loop would apply to "self".
+            if (
+                self.spec.can_run(job)
+                and self.lrms.can_meet_deadline(job)
+                and (
+                    job.budget is None
+                    or execution_cost(job, self.spec) <= job.budget + 1e-9
+                )
+            ):
+                self._accept_locally(job)
+            else:
+                self._reject(job)
+            return
         session = self.directory.open_session(
             rank_criterion_for(job), min_processors=job.num_processors
         )
@@ -199,17 +263,34 @@ class GridFederationAgent(Entity):
         self.stats.rejected += 1
         job.mark_rejected()
 
-    def _negotiate(self, quote: DirectoryQuote, job: Job) -> bool:
-        """One-to-one admission-control negotiation with a remote GFA."""
-        remote: GridFederationAgent = self.registry.lookup(quote.gfa_name)
+    def _enquire(self, remote: "GridFederationAgent", job: Job) -> Optional[AdmissionDecision]:
+        """Send one admission enquiry; ``None`` means the round trip timed out.
+
+        The NEGOTIATE message is always recorded (it was sent); the REPLY is
+        only recorded when it actually arrives.  Timeouts happen when the
+        contacted cluster is dead — in which case its stale directory quote is
+        invalidated so later query sessions skip it — or when an active
+        network perturbation loses the round trip.
+        """
         self.stats.negotiations_sent += 1
         self.message_log.record(
             MessageType.NEGOTIATE, self.name, remote.name, job, time=self.sim.now
         )
+        if self.faults is not None and not self.faults.enquiry_delivered(self, remote, job):
+            self.stats.negotiation_timeouts += 1
+            return None
         decision = remote.handle_admission_request(job)
         self.message_log.record(
             MessageType.REPLY, remote.name, self.name, job, time=self.sim.now
         )
+        return decision
+
+    def _negotiate(self, quote: DirectoryQuote, job: Job) -> bool:
+        """One-to-one admission-control negotiation with a remote GFA."""
+        remote: GridFederationAgent = self.registry.lookup(quote.gfa_name)
+        decision = self._enquire(remote, job)
+        if decision is None:
+            return False
         if not decision.accepted:
             self.stats.negotiations_refused += 1
         return decision.accepted
@@ -221,7 +302,38 @@ class GridFederationAgent(Entity):
         self.message_log.record(
             MessageType.JOB_SUBMISSION, self.name, remote.name, job, time=self.sim.now
         )
+        if self.faults is not None:
+            fate, delay = self.faults.submission_fate(self, remote, job)
+            if fate == "lost":
+                job.mark_failed(
+                    self.sim.now,
+                    f"job-submission to {remote.name} lost in transit",
+                )
+                self.faults.note_job_lost(job)
+                return
+            if delay > 0.0:
+                self.sim.schedule(delay, self._deliver_migrated, remote.name, job)
+                return
         remote.receive_remote_job(job, origin_gfa=self.name)
+
+    def _deliver_migrated(self, remote_name: str, job: Job) -> None:
+        """Deliver a delayed job transfer (only scheduled under faults)."""
+        remote: GridFederationAgent = self.registry.lookup(remote_name)
+        if remote.alive:
+            remote.receive_remote_job(job, origin_gfa=self.name)
+        elif self.alive:
+            # The accepting cluster died while the job was in transit:
+            # bounce it back through superscheduling.
+            if self.faults is not None:
+                self.faults.note_renegotiation(job)
+            self.resubmit_job(job)
+        else:
+            job.mark_failed(
+                self.sim.now,
+                f"in transit to {remote_name} when both endpoints went down",
+            )
+            if self.faults is not None:
+                self.faults.note_job_lost(job)
 
     # ------------------------------------------------------------------ #
     # Remote-side resource management
@@ -238,7 +350,9 @@ class GridFederationAgent(Entity):
 
     def _on_lrms_completion(self, job: Job) -> None:
         """Settle accounts and notify the origin when a job finishes here."""
-        if self.mode is SharingMode.ECONOMY and self.bank is not None:
+        # Background load injected by a fault plan (user_id < 0) occupies
+        # nodes but has no paying user and no origin to notify.
+        if self.mode is SharingMode.ECONOMY and self.bank is not None and job.user_id >= 0:
             cost = execution_cost(job, self.spec)
             job.cost_paid = cost
             self.bank.transfer(
@@ -253,6 +367,44 @@ class GridFederationAgent(Entity):
             self.message_log.record(
                 MessageType.JOB_COMPLETION, self.name, origin_gfa, job, time=self.sim.now
             )
+
+    # ------------------------------------------------------------------ #
+    # Fault interface (driven by :class:`repro.faults.injector.FaultInjector`)
+    # ------------------------------------------------------------------ #
+    def fail(self, time: float) -> List[Job]:
+        """Crash this cluster and return every job that was hosted on it.
+
+        The LRMS kills running and queued work; remote-job bookkeeping is
+        cleared so no stray completion messages fire later.  The caller
+        decides each returned job's fate (re-negotiation at its origin, or a
+        fault-attributed failure).  The cluster's stale directory quote is
+        *not* withdrawn here — peers discover the death through negotiation
+        timeouts, exactly as a decentralised directory would.
+        """
+        if not self.alive:
+            return []
+        self.alive = False
+        self._down_since = time
+        killed = self.lrms.fail_all()
+        for job in killed:
+            self._remote_job_origins.pop(job.job_id, None)
+        return killed
+
+    def recover(self, time: float) -> None:
+        """Bring a crashed cluster back up (empty LRMS, ready for work)."""
+        if self.alive:
+            return
+        self.alive = True
+        if self._down_since is not None:
+            self.downtime_intervals.append((self._down_since, time))
+        self._down_since = None
+
+    def downtime(self, period: float) -> float:
+        """Total seconds this cluster spent crashed within ``[0, period]``."""
+        total = sum(end - start for start, end in self.downtime_intervals)
+        if self._down_since is not None:
+            total += max(period - self._down_since, 0.0)
+        return total
 
     # ------------------------------------------------------------------ #
     # Introspection

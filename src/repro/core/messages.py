@@ -82,6 +82,12 @@ class MessageLog:
         self._records: List[Message] = []
         self._keep_records = keep_records
         self.total_messages = 0
+        # Fault accounting (zero on the fault-free path): enquiries whose
+        # round trip never completed, and job transfers lost on the wire.
+        # Kept outside the paper's message counters — a timeout is the
+        # *absence* of a REPLY, not a fifth message category.
+        self.negotiation_timeouts = 0
+        self.transit_losses = 0
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -161,6 +167,21 @@ class MessageLog:
             self._records.append(message)
             return message
         return None
+
+    def record_timeout(self, sender: str, receiver: str, job: Job) -> None:
+        """Note that a NEGOTIATE from ``sender`` to ``receiver`` got no REPLY.
+
+        The NEGOTIATE itself was recorded through :meth:`record`; this only
+        tracks the missing reply so fault reports can reconcile negotiation
+        counts against observed failures.
+        """
+        del sender, receiver, job  # identity is already captured by record()
+        self.negotiation_timeouts += 1
+
+    def record_transit_loss(self, sender: str, receiver: str, job: Job) -> None:
+        """Note that a JOB_SUBMISSION transfer was lost on the wire."""
+        del sender, receiver, job
+        self.transit_losses += 1
 
     def _counters(self, gfa_name: str) -> GFAMessageCounters:
         if gfa_name not in self._per_gfa:

@@ -36,7 +36,9 @@ class CoordinatedGFA(GridFederationAgent):
     """A GFA that publishes and consumes load reports via the directory."""
 
     def _publish_load(self) -> None:
-        if self.directory is not None:
+        # A departed or discovered-dead cluster has no directory entry to
+        # attach a load report to; publishing resumes once it is re-listed.
+        if self.directory is not None and self.directory.is_subscribed(self.name):
             self.directory.report_load(self.name, self.lrms.expected_wait())
 
     # -- publication hooks: every LRMS state change refreshes the report ---- #

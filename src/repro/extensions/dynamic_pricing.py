@@ -84,6 +84,11 @@ class DynamicPricingFederation(Federation):
             self._last_enquiries[name] = total
         total_enquiries = sum(enquiry_deltas.values())
         for name, gfa in self.gfas.items():
+            if not gfa.alive or not self.directory.is_subscribed(name):
+                # Crashed or departed clusters keep their last price; they
+                # re-enter the market (and repricing) once re-listed.
+                self.price_history[name].append(gfa.spec.price)
+                continue
             demand = enquiry_deltas[name] / total_enquiries if total_enquiries else 0.0
             new_price = self.pricing_policy.adjusted_price(gfa.spec.mips, demand)
             if abs(new_price - gfa.spec.price) > 1e-12:

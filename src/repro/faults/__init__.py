@@ -1,0 +1,39 @@
+"""Fault injection and churn for Grid-Federation simulations.
+
+The paper evaluates the federation on a static, failure-free testbed; this
+package makes clusters able to fail, rejoin and degrade mid-run so that the
+protocol's robustness claims can be exercised:
+
+* :class:`~repro.faults.plan.FaultPlan` — a declarative schedule of cluster
+  crash/recover events, graceful directory-membership churn (leave/rejoin),
+  load spikes and message loss/delay windows;
+* :class:`~repro.faults.injector.FaultInjector` — the runtime that drives a
+  plan through the discrete-event simulator and threads failure semantics
+  through the GFAs, the LRMSes and the federation directory;
+* :mod:`repro.faults.variants` — seeded built-in plans registered under the
+  ``Scenario.faults`` registry key (``"crash-recover"``, ``"churn"``,
+  ``"flaky-network"``, ``"load-spike"``, ``"chaos"``).
+
+The zero-fault path is byte-identical to a run without this package: an empty
+plan installs nothing, and every fault hook in the core is a no-op until an
+injector attaches itself.
+"""
+
+from repro.faults.plan import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    NetworkPerturbation,
+    random_fault_plan,
+)
+from repro.faults.injector import FaultInjector, FaultReport
+
+__all__ = [
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "NetworkPerturbation",
+    "random_fault_plan",
+    "FaultInjector",
+    "FaultReport",
+]

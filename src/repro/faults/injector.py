@@ -1,0 +1,388 @@
+"""The fault injector: drives a :class:`~repro.faults.plan.FaultPlan` at runtime.
+
+The injector is built by :meth:`repro.core.federation.Federation.install_faults`
+and threads failure semantics through the whole stack:
+
+* **crash** — the GFA goes dark (:meth:`~repro.core.gfa.GridFederationAgent.
+  fail`): running and queued jobs are killed, remote-origin jobs bounce back
+  to their origin GFA for re-negotiation, local-origin jobs are attributably
+  lost.  The stale quote stays in the federation directory until a peer's
+  negotiation times out against the dead cluster — at which point the quote
+  is invalidated (*lazy discovery*, as in a real P2P directory) and the
+  peer's resumable query session transparently moves on to the next live
+  candidate;
+* **recover** — the GFA comes back up and re-advertises its quote if it was
+  discovered dead (or had gracefully left and rejoined meanwhile);
+* **leave / rejoin** — graceful directory-membership churn: the quote is
+  withdrawn immediately and the cluster serves only its local users until it
+  rejoins;
+* **load spike** — synthetic background jobs (``user_id < 0``) occupy part of
+  the cluster, degrading every deadline estimate that the admission
+  controller hands out;
+* **network perturbations** — negotiate/reply round trips are lost with the
+  window's probability (the origin observes a timeout) and job-submission
+  transfers are delayed or lost in transit.
+
+All stochastic choices draw from the dedicated ``"faults/network"`` stream of
+the federation's :class:`~repro.sim.rng.RandomStreams`, so a ``(seed, plan)``
+pair reproduces bit-identical runs and the zero-fault path never touches the
+generator at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.workload.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.federation import Federation
+    from repro.core.gfa import GridFederationAgent
+    from repro.validate import RuntimeValidator
+
+#: ``user_id`` marking fault-injected background load (never a paying user).
+BACKGROUND_USER = -1
+
+
+@dataclass
+class FaultReport:
+    """Everything measured about the injected faults at the end of a run.
+
+    Carried on :attr:`repro.core.federation.FederationResult.faults` (``None``
+    on the zero-fault path) and consumed by the metrics collectors and by the
+    invariant checkers in :mod:`repro.validate`.
+    """
+
+    crashes: int = 0
+    recoveries: int = 0
+    departures: int = 0
+    rejoins: int = 0
+    load_spikes: int = 0
+    #: Negotiate/reply round trips that never completed (dead peer or loss).
+    negotiation_timeouts: int = 0
+    #: Dead members whose stale quote a peer invalidated after a timeout.
+    discoveries: int = 0
+    #: Jobs that re-entered superscheduling after losing their host.
+    renegotiations: int = 0
+    #: Workload jobs attributably lost to faults (status ``FAILED``).
+    jobs_lost: int = 0
+    #: Synthetic background jobs injected by load spikes.
+    background_jobs: int = 0
+    #: Background jobs killed by a later crash (not part of ``jobs_lost``).
+    background_lost: int = 0
+    #: Job transfers lost on the wire (counted inside ``jobs_lost`` too).
+    transit_losses: int = 0
+    #: Per-cluster crashed seconds within the observation period.
+    downtime: Dict[str, float] = field(default_factory=dict)
+    #: Per-cluster closed ``(down, up)`` crash windows.
+    downtime_intervals: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    #: Ground-truth directory membership at the end of the run (sorted).
+    expected_members: List[str] = field(default_factory=list)
+    #: Every cluster whose death a peer ever discovered through a timeout
+    #: (sorted; includes clusters that later recovered and re-listed).
+    discovered_dead: List[str] = field(default_factory=list)
+
+    @property
+    def total_downtime(self) -> float:
+        """Crashed seconds summed over all clusters."""
+        return sum(self.downtime.values())
+
+
+class FaultInjector:
+    """Applies a fault plan to a running federation.
+
+    Parameters
+    ----------
+    federation:
+        The federation under test (already built, not yet run).
+    plan:
+        The fault schedule; targets are validated against the federation's
+        cluster names at construction time.
+
+    Notes
+    -----
+    The injector attaches itself as ``gfa.faults`` on every agent, which is
+    what arms the fault branches in the negotiation and migration paths; a
+    federation without an injector never evaluates them.
+    """
+
+    def __init__(self, federation: "Federation", plan: FaultPlan):
+        plan.validate_targets(spec.name for spec in federation.specs)
+        self.federation = federation
+        self.plan = plan
+        self.sim = federation.sim
+        self.directory = federation.directory
+        self.gfas: Dict[str, "GridFederationAgent"] = federation.gfas
+        self.rng = federation.streams.get("faults/network")
+        #: Optional runtime validator, called after every applied fault event.
+        self.validator: Optional["RuntimeValidator"] = None
+
+        self.crashes = 0
+        self.recoveries = 0
+        self.departures = 0
+        self.rejoins = 0
+        self.load_spikes = 0
+        self.negotiation_timeouts = 0
+        self.discoveries = 0
+        self.renegotiations = 0
+        self.jobs_lost = 0
+        self.transit_losses = 0
+        self.background_jobs: List[Job] = []
+        self.background_lost = 0
+        self._background_ids: Set[int] = set()
+        # Currently-discovered dead members (cleared on recovery) vs. the
+        # cumulative record of every discovery (for the report).
+        self._discovered: Set[str] = set()
+        self._ever_discovered: Set[str] = set()
+        # Ground-truth mirror of sanctioned membership: every subscribe /
+        # unsubscribe the fault model performs (or allows) is reflected here,
+        # so the runtime validator can catch *unsanctioned* directory
+        # mutations.  A dead member stays "expected" until discovered — that
+        # is the lazy-discovery window, not an inconsistency.
+        self._expected: Set[str] = {
+            name for name, gfa in self.gfas.items() if gfa.joined
+        }
+        self._started = False
+
+        for gfa in self.gfas.values():
+            gfa.faults = self
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Schedule every planned event on the federation's simulator."""
+        if self._started:
+            raise RuntimeError("fault injector already started")
+        self._started = True
+        for event in self.plan.scheduled():
+            self.sim.schedule_at(event.time, self._apply, event)
+
+    def _apply(self, event: FaultEvent) -> None:
+        if event.kind is FaultKind.CRASH:
+            self._crash(event)
+        elif event.kind is FaultKind.RECOVER:
+            self._recover(event)
+        elif event.kind is FaultKind.LEAVE:
+            self._leave(event)
+        elif event.kind is FaultKind.REJOIN:
+            self._rejoin(event)
+        else:
+            self._load_spike(event)
+        if self.validator is not None:
+            self.validator.after_fault(self, event)
+
+    # ------------------------------------------------------------------ #
+    # Event application
+    # ------------------------------------------------------------------ #
+    def _crash(self, event: FaultEvent) -> None:
+        gfa = self.gfas[event.target]
+        if not gfa.alive:
+            return
+        self.crashes += 1
+        now = self.sim.now
+        killed = gfa.fail(now)
+        for job in killed:
+            if job.job_id in self._background_ids:
+                job.mark_failed(now, f"background load killed by {gfa.name} crash")
+                self.background_lost += 1
+                continue
+            if job.origin != gfa.name and self.gfas[job.origin].alive:
+                # The host died under a remote job: hand it back to its
+                # origin GFA, which re-runs the whole DBC negotiation.
+                self.note_renegotiation(job)
+                self.gfas[job.origin].resubmit_job(job)
+            else:
+                job.mark_failed(now, f"cluster {gfa.name} crashed")
+                self.note_job_lost(job)
+        if event.duration is not None:
+            self.sim.schedule_at(
+                now + event.duration,
+                self._apply,
+                FaultEvent(
+                    time=now + event.duration,
+                    kind=FaultKind.RECOVER,
+                    target=event.target,
+                ),
+            )
+
+    def _recover(self, event: FaultEvent) -> None:
+        gfa = self.gfas[event.target]
+        if gfa.alive:
+            return
+        self.recoveries += 1
+        gfa.recover(self.sim.now)
+        self._discovered.discard(gfa.name)
+        if (
+            self.directory is not None
+            and gfa.joined
+            and not self.directory.is_subscribed(gfa.name)
+        ):
+            self.directory.subscribe(gfa.name, gfa.spec)
+            self._expected.add(gfa.name)
+
+    def _leave(self, event: FaultEvent) -> None:
+        gfa = self.gfas[event.target]
+        if not gfa.joined:
+            return
+        self.departures += 1
+        gfa.joined = False
+        self._discovered.discard(gfa.name)
+        self._expected.discard(gfa.name)
+        if self.directory is not None and self.directory.is_subscribed(gfa.name):
+            self.directory.unsubscribe(gfa.name)
+
+    def _rejoin(self, event: FaultEvent) -> None:
+        gfa = self.gfas[event.target]
+        if gfa.joined:
+            return
+        self.rejoins += 1
+        gfa.joined = True
+        if (
+            self.directory is not None
+            and gfa.alive
+            and not self.directory.is_subscribed(gfa.name)
+        ):
+            # A cluster that rejoins while crashed stays unlisted until it
+            # recovers; only a live rejoiner re-advertises immediately.
+            self.directory.subscribe(gfa.name, gfa.spec)
+            self._expected.add(gfa.name)
+
+    def _load_spike(self, event: FaultEvent) -> None:
+        gfa = self.gfas[event.target]
+        if not gfa.alive:
+            return
+        self.load_spikes += 1
+        spec = gfa.spec
+        processors = max(1, min(spec.num_processors, round(event.fraction * spec.num_processors)))
+        # Sized so the unloaded runtime equals the spike duration (Eq. 2 with
+        # no communication): the nodes stay occupied for exactly that long.
+        length_mi = event.duration * spec.mips * processors
+        job = Job(
+            origin=gfa.name,
+            user_id=BACKGROUND_USER,
+            submit_time=self.sim.now,
+            num_processors=processors,
+            length_mi=length_mi,
+        )
+        self._background_ids.add(job.job_id)
+        self.background_jobs.append(job)
+        gfa.lrms.submit(job)
+
+    # ------------------------------------------------------------------ #
+    # GFA-facing fault model
+    # ------------------------------------------------------------------ #
+    def enquiry_delivered(
+        self, origin: "GridFederationAgent", remote: "GridFederationAgent", job: Job
+    ) -> bool:
+        """Whether one negotiate/reply round trip completes.
+
+        A dead peer never answers; its stale quote is invalidated in the
+        directory on first discovery, so resumable query sessions (which
+        restart on the membership-version bump) move on to the next live
+        candidate.  During a lossy network window the round trip is lost with
+        the window's probability.
+        """
+        if not remote.alive:
+            self.negotiation_timeouts += 1
+            self.federation.message_log.record_timeout(origin.name, remote.name, job)
+            self._discover_dead(remote.name)
+            return False
+        window = self.plan.perturbation_at(self.sim.now)
+        if window is not None and window.loss_rate > 0.0:
+            if self.rng.random() < window.loss_rate:
+                self.negotiation_timeouts += 1
+                self.federation.message_log.record_timeout(origin.name, remote.name, job)
+                return False
+        return True
+
+    def submission_fate(
+        self, origin: "GridFederationAgent", remote: "GridFederationAgent", job: Job
+    ) -> Tuple[str, float]:
+        """Fate of a job-submission transfer: ``(outcome, delay)``.
+
+        ``outcome`` is ``"deliver"`` or ``"lost"``; ``delay`` is the transfer
+        delay in seconds when delivered (0 = synchronous, the fault-free
+        behaviour).
+        """
+        window = self.plan.perturbation_at(self.sim.now)
+        if window is None:
+            return ("deliver", 0.0)
+        if window.loss_rate > 0.0 and self.rng.random() < window.loss_rate:
+            self.transit_losses += 1
+            self.federation.message_log.record_transit_loss(origin.name, remote.name, job)
+            return ("lost", 0.0)
+        return ("deliver", window.submission_delay)
+
+    def note_job_lost(self, job: Job) -> None:
+        """Account one workload job attributably lost to a fault."""
+        self.jobs_lost += 1
+
+    def note_renegotiation(self, job: Job) -> None:
+        """Account one job bounced back into superscheduling by a fault."""
+        self.renegotiations += 1
+
+    def _discover_dead(self, name: str) -> None:
+        if name in self._discovered:
+            return
+        self._discovered.add(name)
+        self._ever_discovered.add(name)
+        self.discoveries += 1
+        self._expected.discard(name)
+        if self.directory is not None and self.directory.is_subscribed(name):
+            self.directory.unsubscribe(name)
+
+    # ------------------------------------------------------------------ #
+    # Ground truth and reporting
+    # ------------------------------------------------------------------ #
+    def expected_members(self) -> List[str]:
+        """Directory membership implied by the injector's ground truth.
+
+        A cluster is expected in the directory iff the fault model's own
+        membership operations put it there: joined and either alive or dead
+        with its death not yet discovered by a peer (stale quotes of
+        undiscovered dead members are *correct* lazy-discovery behaviour); a
+        cluster that rejoined while crashed is expected only after recovery.
+        """
+        if self.directory is None:
+            return []
+        return sorted(self._expected)
+
+    def report(self, observation_period: float) -> FaultReport:
+        """Summarise the injected faults over the whole run."""
+        downtime = {
+            name: gfa.downtime(observation_period)
+            for name, gfa in self.gfas.items()
+            if gfa.downtime(observation_period) > 0.0
+        }
+        intervals = {
+            name: list(gfa.downtime_intervals)
+            for name, gfa in self.gfas.items()
+            if gfa.downtime_intervals
+        }
+        return FaultReport(
+            crashes=self.crashes,
+            recoveries=self.recoveries,
+            departures=self.departures,
+            rejoins=self.rejoins,
+            load_spikes=self.load_spikes,
+            negotiation_timeouts=self.negotiation_timeouts,
+            discoveries=self.discoveries,
+            renegotiations=self.renegotiations,
+            jobs_lost=self.jobs_lost,
+            background_jobs=len(self.background_jobs),
+            background_lost=self.background_lost,
+            transit_losses=self.transit_losses,
+            downtime=downtime,
+            downtime_intervals=intervals,
+            expected_members=self.expected_members(),
+            discovered_dead=sorted(self._ever_discovered),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"FaultInjector(events={len(self.plan.events)}, crashes={self.crashes}, "
+            f"renegotiations={self.renegotiations}, lost={self.jobs_lost})"
+        )

@@ -1,0 +1,295 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` describes *what goes wrong and when* as plain data, fully
+decoupled from the machinery that applies it (:mod:`repro.faults.injector`).
+Plans are immutable; the builder methods return extended copies, so a plan can
+be assembled fluently::
+
+    plan = (FaultPlan()
+            .crash("CTC SP2", at=3_600.0, duration=7_200.0)
+            .leave("NASA iPSC/860", at=10_000.0)
+            .rejoin("NASA iPSC/860", at=40_000.0)
+            .load_spike("SDSC SP2", at=5_000.0, duration=1_800.0, fraction=0.5)
+            .perturb(0.0, 86_400.0, loss_rate=0.02, submission_delay=30.0))
+
+Two fault categories exist:
+
+* **scheduled events** (:class:`FaultEvent`) — crash / recover, graceful
+  leave / rejoin of the federation directory, and load spikes, each applied at
+  an absolute simulation time;
+* **network perturbations** (:class:`NetworkPerturbation`) — time windows
+  during which inter-GFA messages may be lost or job transfers delayed,
+  sampled from a dedicated seeded stream at negotiation time.
+
+:func:`random_fault_plan` draws a seeded random plan from a NumPy generator —
+the primitive behind the built-in ``"crash-recover"``-style scenario variants
+and the hypothesis property tests in ``tests/invariants/``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class FaultKind(enum.Enum):
+    """Kinds of scheduled fault events."""
+
+    #: Hard failure: running/queued jobs are killed, the GFA stops responding.
+    CRASH = "crash"
+    #: The cluster comes back up (empty LRMS, re-advertises its quote).
+    RECOVER = "recover"
+    #: Graceful departure from the federation directory (local-only service).
+    LEAVE = "leave"
+    #: Graceful re-subscription to the federation directory.
+    REJOIN = "rejoin"
+    #: A burst of background load occupies part of the cluster for a while.
+    LOAD_SPIKE = "load-spike"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled perturbation of one cluster.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time at which the event applies.
+    kind:
+        The :class:`FaultKind`.
+    target:
+        Name of the affected cluster.
+    duration:
+        For ``CRASH``: seconds until an automatic ``RECOVER`` (``None`` =
+        stays down until an explicit recover event, possibly forever).
+        For ``LOAD_SPIKE``: how long the background load occupies the nodes
+        (required).
+    fraction:
+        For ``LOAD_SPIKE``: fraction of the cluster's processors occupied.
+    """
+
+    time: float
+    kind: FaultKind
+    target: str
+    duration: Optional[float] = None
+    fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or not math.isfinite(self.time):
+            raise ValueError(f"fault time must be finite and non-negative, got {self.time!r}")
+        if not self.target:
+            raise ValueError("fault event needs a target cluster name")
+        if self.duration is not None and (self.duration <= 0 or not math.isfinite(self.duration)):
+            raise ValueError(f"fault duration must be finite and positive, got {self.duration!r}")
+        if self.kind is FaultKind.LOAD_SPIKE:
+            if self.duration is None:
+                raise ValueError("load spikes require a duration")
+            if not 0.0 < self.fraction <= 1.0:
+                raise ValueError(f"spike fraction must lie in (0, 1], got {self.fraction}")
+
+
+@dataclass(frozen=True)
+class NetworkPerturbation:
+    """A time window of degraded inter-GFA networking.
+
+    Attributes
+    ----------
+    start, end:
+        The window ``[start, end)`` in absolute simulation time.
+    loss_rate:
+        Probability that one negotiate/reply round trip is lost (the origin
+        observes a timeout) and that a migrating job is lost in transit.
+    submission_delay:
+        Transfer delay (seconds) added to job-submission messages; the remote
+        GFA receives the job that much later than the accept decision.
+    """
+
+    start: float
+    end: float
+    loss_rate: float = 0.0
+    submission_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or not math.isfinite(self.start):
+            raise ValueError(f"window start must be finite and non-negative, got {self.start!r}")
+        if self.end <= self.start:
+            raise ValueError(f"window end {self.end!r} must exceed start {self.start!r}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss rate must lie in [0, 1), got {self.loss_rate}")
+        if self.submission_delay < 0 or not math.isfinite(self.submission_delay):
+            raise ValueError(f"submission delay must be finite and non-negative, got {self.submission_delay!r}")
+
+    def active_at(self, time: float) -> bool:
+        """True if ``time`` falls inside this window."""
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of fault events and network perturbations.
+
+    The empty plan (``FaultPlan()``) is the explicit statement that nothing
+    fails; running a scenario with it is byte-identical to running without a
+    plan at all.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    network: Tuple[NetworkPerturbation, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Fluent builders (each returns an extended copy)
+    # ------------------------------------------------------------------ #
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        """A copy of this plan with one more scheduled event."""
+        return replace(self, events=(*self.events, event))
+
+    def crash(self, target: str, at: float, duration: Optional[float] = None) -> "FaultPlan":
+        """Crash ``target`` at ``at``; auto-recover after ``duration`` if given."""
+        return self.add(FaultEvent(time=at, kind=FaultKind.CRASH, target=target, duration=duration))
+
+    def recover(self, target: str, at: float) -> "FaultPlan":
+        """Bring a crashed ``target`` back up at ``at``."""
+        return self.add(FaultEvent(time=at, kind=FaultKind.RECOVER, target=target))
+
+    def leave(self, target: str, at: float) -> "FaultPlan":
+        """Gracefully withdraw ``target`` from the federation directory."""
+        return self.add(FaultEvent(time=at, kind=FaultKind.LEAVE, target=target))
+
+    def rejoin(self, target: str, at: float) -> "FaultPlan":
+        """Re-subscribe a departed ``target`` to the federation directory."""
+        return self.add(FaultEvent(time=at, kind=FaultKind.REJOIN, target=target))
+
+    def load_spike(
+        self, target: str, at: float, duration: float, fraction: float = 0.5
+    ) -> "FaultPlan":
+        """Occupy ``fraction`` of ``target``'s processors for ``duration`` seconds."""
+        return self.add(
+            FaultEvent(
+                time=at,
+                kind=FaultKind.LOAD_SPIKE,
+                target=target,
+                duration=duration,
+                fraction=fraction,
+            )
+        )
+
+    def perturb(
+        self,
+        start: float,
+        end: float,
+        loss_rate: float = 0.0,
+        submission_delay: float = 0.0,
+    ) -> "FaultPlan":
+        """Add a degraded-network window."""
+        window = NetworkPerturbation(
+            start=start, end=end, loss_rate=loss_rate, submission_delay=submission_delay
+        )
+        return replace(self, network=(*self.network, window))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def is_empty(self) -> bool:
+        """True when the plan perturbs nothing at all."""
+        return not self.events and not any(
+            w.loss_rate > 0 or w.submission_delay > 0 for w in self.network
+        )
+
+    def scheduled(self) -> List[FaultEvent]:
+        """The events in application order (stable sort by time)."""
+        return sorted(self.events, key=lambda event: event.time)
+
+    def perturbation_at(self, time: float) -> Optional[NetworkPerturbation]:
+        """The first network window covering ``time`` (``None`` outside all)."""
+        for window in self.network:
+            if window.active_at(time):
+                return window
+        return None
+
+    def targets(self) -> List[str]:
+        """All cluster names the plan touches, sorted."""
+        return sorted({event.target for event in self.events})
+
+    def validate_targets(self, cluster_names: Iterable[str]) -> None:
+        """Raise ``ValueError`` if the plan names a cluster that does not exist."""
+        known = set(cluster_names)
+        unknown = [name for name in self.targets() if name not in known]
+        if unknown:
+            raise ValueError(
+                f"fault plan targets unknown clusters: {unknown}; known: {sorted(known)}"
+            )
+
+    def describe(self) -> str:
+        """One-line human summary used by the CLI."""
+        if self.is_empty():
+            return "no faults"
+        parts = [f"{len(self.events)} events on {len(self.targets())} clusters"]
+        if self.network:
+            worst = max((w.loss_rate for w in self.network), default=0.0)
+            parts.append(f"{len(self.network)} network windows (max loss {worst:.0%})")
+        return ", ".join(parts)
+
+
+def random_fault_plan(
+    rng: np.random.Generator,
+    cluster_names: Sequence[str],
+    horizon: float,
+    max_events: int = 4,
+    kinds: Sequence[FaultKind] = (FaultKind.CRASH, FaultKind.LEAVE, FaultKind.LOAD_SPIKE),
+    max_loss_rate: float = 0.0,
+    submission_delay: float = 0.0,
+) -> FaultPlan:
+    """Draw a seeded random plan (the property-test and variant primitive).
+
+    Crashes auto-recover and departures rejoin within the horizon, so a random
+    plan always lets the federation heal — the invariant suite checks the
+    *accounting* of the damage, not whether damage occurred.
+
+    Parameters
+    ----------
+    rng:
+        Seeded NumPy generator (use a dedicated :class:`~repro.sim.rng.
+        RandomStreams` key so workload streams stay unperturbed).
+    cluster_names:
+        Candidate targets.
+    horizon:
+        Submission-window length; fault times are drawn from its first 60%.
+    max_events:
+        Upper bound on the number of scheduled events.
+    kinds:
+        Fault kinds to draw from.
+    max_loss_rate, submission_delay:
+        When positive, one network window covering the run is added with a
+        loss rate drawn from ``[0, max_loss_rate]`` and this transfer delay.
+    """
+    if not cluster_names:
+        raise ValueError("need at least one cluster to build a fault plan")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    plan = FaultPlan()
+    count = int(rng.integers(1, max_events + 1)) if max_events >= 1 else 0
+    kinds = tuple(kinds)
+    for _ in range(count):
+        target = str(cluster_names[int(rng.integers(0, len(cluster_names)))])
+        kind = kinds[int(rng.integers(0, len(kinds)))]
+        at = float(rng.uniform(0.0, 0.6) * horizon)
+        duration = float(rng.uniform(0.05, 0.3) * horizon)
+        if kind is FaultKind.CRASH:
+            plan = plan.crash(target, at=at, duration=duration)
+        elif kind is FaultKind.LEAVE:
+            plan = plan.leave(target, at=at).rejoin(target, at=at + duration)
+        elif kind is FaultKind.LOAD_SPIKE:
+            fraction = float(rng.uniform(0.25, 1.0))
+            plan = plan.load_spike(target, at=at, duration=duration, fraction=fraction)
+        else:  # pragma: no cover - defensive: RECOVER/REJOIN are paired above
+            raise ValueError(f"cannot draw standalone event of kind {kind}")
+    if max_loss_rate > 0 or submission_delay > 0:
+        loss = float(rng.uniform(0.0, max_loss_rate)) if max_loss_rate > 0 else 0.0
+        plan = plan.perturb(
+            0.0, 2.0 * horizon, loss_rate=loss, submission_delay=submission_delay
+        )
+    return plan

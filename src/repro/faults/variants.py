@@ -1,0 +1,123 @@
+"""Built-in fault variants: seeded plans behind ``Scenario.faults`` keys.
+
+Each factory takes ``(scenario, streams, specs)`` and returns a
+:class:`~repro.faults.plan.FaultPlan`.  All randomness comes from the
+dedicated ``"faults/plan"`` stream of the scenario's root seed, so the plan —
+like the workload — is a pure function of the scenario, and the workload
+streams themselves are never perturbed.
+
+Registered keys:
+
+========================  ===================================================
+``none``                  the empty plan (the default; byte-identical runs)
+``crash-recover``         a quarter of the clusters crash once and recover
+``churn``                 clusters gracefully leave the directory and rejoin
+``flaky-network``         2% negotiation loss + 30 s job-transfer delay
+``load-spike``            background bursts occupy half of random clusters
+``chaos``                 crash + churn + spikes + flaky network combined
+========================  ===================================================
+
+Register your own with::
+
+    from repro.scenario import register_fault
+
+    @register_fault("mine")
+    def _mine(scenario, streams, specs):
+        return FaultPlan().crash(specs[0].name, at=3600.0, duration=7200.0)
+
+    run_scenario(Scenario(faults="mine"))
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.specs import ResourceSpec
+from repro.core.policies import SharingMode
+from repro.faults.plan import FaultKind, FaultPlan, random_fault_plan
+from repro.scenario.registry import register_fault
+from repro.sim.rng import RandomStreams
+
+_FEDERATED = (SharingMode.FEDERATION, SharingMode.ECONOMY)
+
+
+def _plan_rng(streams: RandomStreams):
+    return streams.get("faults/plan")
+
+
+@register_fault("none", aliases=("off",))
+def _no_faults(scenario, streams: RandomStreams, specs: Sequence[ResourceSpec]) -> FaultPlan:
+    """The empty plan: nothing fails, outputs match the fault-free path."""
+    return FaultPlan()
+
+
+@register_fault("crash-recover")
+def _crash_recover(scenario, streams: RandomStreams, specs: Sequence[ResourceSpec]) -> FaultPlan:
+    """Hard crashes with automatic recovery on ~25% of the clusters."""
+    rng = _plan_rng(streams)
+    names = [spec.name for spec in specs]
+    count = max(1, len(names) // 4)
+    victims = rng.choice(len(names), size=min(count, len(names)), replace=False)
+    plan = FaultPlan()
+    for index in victims:
+        at = float(rng.uniform(0.05, 0.5) * scenario.horizon)
+        duration = float(rng.uniform(0.1, 0.25) * scenario.horizon)
+        plan = plan.crash(names[int(index)], at=at, duration=duration)
+    return plan
+
+
+@register_fault("churn", modes=_FEDERATED)
+def _membership_churn(scenario, streams: RandomStreams, specs: Sequence[ResourceSpec]) -> FaultPlan:
+    """Graceful directory churn: clusters leave for a while and rejoin."""
+    rng = _plan_rng(streams)
+    names = [spec.name for spec in specs]
+    count = max(1, len(names) // 3)
+    victims = rng.choice(len(names), size=min(count, len(names)), replace=False)
+    plan = FaultPlan()
+    for index in victims:
+        at = float(rng.uniform(0.05, 0.5) * scenario.horizon)
+        away = float(rng.uniform(0.1, 0.3) * scenario.horizon)
+        name = names[int(index)]
+        plan = plan.leave(name, at=at).rejoin(name, at=at + away)
+    return plan
+
+
+@register_fault("flaky-network", aliases=("flaky",), modes=_FEDERATED)
+def _flaky_network(scenario, streams: RandomStreams, specs: Sequence[ResourceSpec]) -> FaultPlan:
+    """Light, run-long network degradation (2% loss, 30 s transfer delay)."""
+    return FaultPlan().perturb(
+        0.0, 2.0 * scenario.horizon, loss_rate=0.02, submission_delay=30.0
+    )
+
+
+@register_fault("load-spike")
+def _load_spikes(scenario, streams: RandomStreams, specs: Sequence[ResourceSpec]) -> FaultPlan:
+    """Background load bursts on ~1/3 of the clusters."""
+    rng = _plan_rng(streams)
+    names = [spec.name for spec in specs]
+    count = max(1, len(names) // 3)
+    victims = rng.choice(len(names), size=min(count, len(names)), replace=False)
+    plan = FaultPlan()
+    for index in victims:
+        at = float(rng.uniform(0.05, 0.6) * scenario.horizon)
+        duration = float(rng.uniform(0.05, 0.2) * scenario.horizon)
+        fraction = float(rng.uniform(0.3, 0.8))
+        plan = plan.load_spike(names[int(index)], at=at, duration=duration, fraction=fraction)
+    return plan
+
+
+@register_fault("chaos", modes=_FEDERATED)
+def _chaos(scenario, streams: RandomStreams, specs: Sequence[ResourceSpec]) -> FaultPlan:
+    """Everything at once: the robustness stress variant."""
+    rng = _plan_rng(streams)
+    names = [spec.name for spec in specs]
+    plan = random_fault_plan(
+        rng,
+        names,
+        scenario.horizon,
+        max_events=max(3, len(names) // 2),
+        kinds=(FaultKind.CRASH, FaultKind.LEAVE, FaultKind.LOAD_SPIKE),
+        max_loss_rate=0.05,
+        submission_delay=60.0,
+    )
+    return plan

@@ -204,6 +204,66 @@ def per_gfa_message_stats(result: FederationResult) -> MessageStats:
     return _distribution(values)
 
 
+# --------------------------------------------------------------------------- #
+# Fault and SLA metrics (populated when a fault plan was active)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FaultMetrics:
+    """Headline robustness numbers of one (possibly fault-ridden) run."""
+
+    crashes: int
+    departures: int
+    load_spikes: int
+    negotiation_timeouts: int
+    renegotiations: int
+    jobs_lost: int
+    total_downtime: float
+    #: Fraction of *completed* jobs that missed their deadline or budget.
+    sla_violation_rate: float
+    #: Fraction of all submitted jobs attributably lost to faults.
+    loss_rate: float
+
+
+def sla_violation_rate(result: FederationResult) -> float:
+    """Fraction of completed jobs whose QoS (deadline/budget) was violated.
+
+    Fault-free Grid-Federation runs keep this at zero by construction — the
+    admission handshake guarantees deadlines and the DBC loop budgets; under
+    churn, re-negotiated jobs may finish late or cost more, which is exactly
+    the degradation this metric quantifies.
+    """
+    completed = result.completed_jobs()
+    if not completed:
+        return 0.0
+    violated = sum(1 for job in completed if not job.qos_satisfied)
+    return violated / len(completed)
+
+
+def downtime_by_resource(result: FederationResult) -> Dict[str, float]:
+    """Seconds each cluster spent crashed (empty mapping when fault-free)."""
+    if result.faults is None:
+        return {}
+    return dict(result.faults.downtime)
+
+
+def fault_metrics(result: FederationResult) -> FaultMetrics:
+    """Collect the robustness summary (all-zero for fault-free runs)."""
+    report = result.faults
+    total_jobs = len(result.jobs)
+    lost = len(result.failed_jobs())
+    return FaultMetrics(
+        crashes=report.crashes if report else 0,
+        departures=report.departures if report else 0,
+        load_spikes=report.load_spikes if report else 0,
+        negotiation_timeouts=report.negotiation_timeouts if report else 0,
+        renegotiations=report.renegotiations if report else 0,
+        jobs_lost=lost,
+        total_downtime=report.total_downtime if report else 0.0,
+        sla_violation_rate=sla_violation_rate(result),
+        loss_rate=lost / total_jobs if total_jobs else 0.0,
+    )
+
+
 def job_migration_counts(result: FederationResult) -> Dict[str, Dict[str, int]]:
     """Locally-processed vs migrated job counts per resource (Figs. 2b and 5)."""
     out: Dict[str, Dict[str, int]] = {}

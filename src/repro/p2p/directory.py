@@ -67,7 +67,51 @@ def theoretical_query_messages(system_size: int) -> int:
     return max(1, math.ceil(math.log2(system_size))) if system_size > 1 else 1
 
 
-class DirectoryQuerySession:
+class _ServeEachQuoteOnce:
+    """Shared ``next()``/iteration semantics for query sessions.
+
+    While membership is stable this is exactly "rank ``n`` on the ``n``-th
+    call".  After a membership change (a dead member's quote invalidated by
+    :meth:`FederationDirectory.unsubscribe`, a new subscriber, a re-quote),
+    positional continuation would be wrong — ranks shift, so continuing at
+    the old position silently *skips* live candidates the caller never
+    probed, or *re-serves* quotes it already consumed.  Instead the sweep
+    restarts from rank 1 and quotes already yielded are skipped by name, so
+    the caller always gets the best-ranked candidate it has not seen — the
+    semantics a negotiation loop needs to survive churn.
+
+    Subclasses provide ``kth`` (positional, fresh-query semantics), the
+    ``_directory``/``_version``/``_pos``/``_yielded`` state, and
+    ``_begin_resweep`` (how a restart syncs their version stamp).
+    """
+
+    __slots__ = ()
+
+    def _begin_resweep(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def next(self) -> Optional[DirectoryQuote]:
+        """The next matching quote this session has not yet served."""
+        if self._version != self._directory.version:
+            self._begin_resweep()
+        while True:
+            quote = self.kth(self._pos + 1)
+            if quote is None:
+                return None
+            self._pos += 1
+            if quote.gfa_name not in self._yielded:
+                self._yielded.add(quote.gfa_name)
+                return quote
+
+    def __iter__(self) -> Iterator[DirectoryQuote]:
+        while True:
+            quote = self.next()
+            if quote is None:
+                return
+            yield quote
+
+
+class DirectoryQuerySession(_ServeEachQuoteOnce):
     """A resumable per-job rank-query session.
 
     The DBC superscheduler probes the directory for ranks ``1, 2, 3, ...``
@@ -96,7 +140,8 @@ class DirectoryQuerySession:
         "_cursor",
         "_version",
         "_exhausted",
-        "_served",
+        "_pos",
+        "_yielded",
     )
 
     def __init__(
@@ -112,7 +157,8 @@ class DirectoryQuerySession:
         self.min_processors = min_processors
         self._index = directory._index_for(criterion)
         self._matched: List[DirectoryQuote] = []
-        self._served = 0
+        self._pos = 0
+        self._yielded: set = set()
         self._restart()
 
     def _restart(self) -> None:
@@ -150,20 +196,13 @@ class DirectoryQuerySession:
             directory._stats.measured_hops += cursor.hops - hops_before
         return matched[rank - 1] if rank <= len(matched) else None
 
-    def next(self) -> Optional[DirectoryQuote]:
-        """The next matching quote in rank order (``None`` when exhausted)."""
-        self._served += 1
-        return self.kth(self._served)
-
-    def __iter__(self) -> Iterator[DirectoryQuote]:
-        while True:
-            quote = self.next()
-            if quote is None:
-                return
-            yield quote
+    def _begin_resweep(self) -> None:
+        # kth() itself restarts the cursor sweep and syncs the version stamp
+        # on its next probe; only the serve position needs resetting here.
+        self._pos = 0
 
 
-class _ScanQuerySession:
+class _ScanQuerySession(_ServeEachQuoteOnce):
     """Session facade over the legacy full-scan query path.
 
     Used when :attr:`FederationDirectory.query_mode` is ``"scan"`` — every
@@ -172,7 +211,7 @@ class _ScanQuerySession:
     old against new on identical runs and tests can use it as an oracle.
     """
 
-    __slots__ = ("_directory", "criterion", "min_processors", "_served")
+    __slots__ = ("_directory", "criterion", "min_processors", "_version", "_pos", "_yielded")
 
     def __init__(
         self,
@@ -183,21 +222,17 @@ class _ScanQuerySession:
         self._directory = directory
         self.criterion = criterion
         self.min_processors = min_processors
-        self._served = 0
+        self._version = directory.version
+        self._pos = 0
+        self._yielded: set = set()
 
     def kth(self, rank: int) -> Optional[DirectoryQuote]:
         return self._directory.scan_query(self.criterion, rank, self.min_processors)
 
-    def next(self) -> Optional[DirectoryQuote]:
-        self._served += 1
-        return self.kth(self._served)
-
-    def __iter__(self) -> Iterator[DirectoryQuote]:
-        while True:
-            quote = self.next()
-            if quote is None:
-                return
-            yield quote
+    def _begin_resweep(self) -> None:
+        # scan_query is stateless, so the facade syncs its own version stamp.
+        self._version = self._directory.version
+        self._pos = 0
 
 
 class FederationDirectory:
@@ -298,6 +333,14 @@ class FederationDirectory:
     def quotes(self) -> List[DirectoryQuote]:
         """All published quotes (unordered snapshot)."""
         return list(self._quotes.values())
+
+    def is_subscribed(self, gfa_name: str) -> bool:
+        """True if ``gfa_name`` currently has a quote in the directory."""
+        return gfa_name in self._quotes
+
+    def member_names(self) -> List[str]:
+        """Sorted names of all currently subscribed GFAs."""
+        return sorted(self._quotes)
 
     def quote_of(self, gfa_name: str) -> DirectoryQuote:
         """The quote published by a particular GFA."""

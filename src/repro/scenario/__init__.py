@@ -27,11 +27,13 @@ Quick start::
 
 from repro.scenario.registry import (
     AGENT_REGISTRY,
+    FAULT_REGISTRY,
     PRICING_REGISTRY,
     UnknownVariantError,
     VariantRegistry,
     WORKLOAD_REGISTRY,
     register_agent,
+    register_fault,
     register_pricing,
     register_workload,
 )
@@ -46,6 +48,7 @@ from repro.scenario.runner import (
     SweepPoint,
     SweepResult,
     SweepRunner,
+    resolve_fault_plan,
     resolve_resources,
     result_fingerprint,
     run_scenario,
@@ -53,11 +56,13 @@ from repro.scenario.runner import (
 
 __all__ = [
     "AGENT_REGISTRY",
+    "FAULT_REGISTRY",
     "PRICING_REGISTRY",
     "WORKLOAD_REGISTRY",
     "UnknownVariantError",
     "VariantRegistry",
     "register_agent",
+    "register_fault",
     "register_pricing",
     "register_workload",
     "Scenario",
@@ -65,6 +70,7 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "SweepRunner",
+    "resolve_fault_plan",
     "resolve_resources",
     "result_fingerprint",
     "run_scenario",

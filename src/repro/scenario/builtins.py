@@ -22,6 +22,10 @@ from repro.core.policies import SharingMode
 from repro.extensions.coordination import CoordinatedGFA
 from repro.extensions.dynamic_pricing import DynamicPricingFederation
 from repro.scenario.registry import register_agent, register_pricing, register_workload
+
+# Importing the fault variants registers the built-in fault plans
+# ("none", "crash-recover", "churn", "flaky-network", "load-spike", "chaos").
+import repro.faults.variants  # noqa: F401  (registration side effect)
 from repro.sim.rng import RandomStreams
 from repro.workload.archive import ArchiveResource, build_workload
 from repro.workload.job import Job

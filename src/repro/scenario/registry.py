@@ -39,9 +39,11 @@ __all__ = [
     "UnknownVariantError",
     "VariantRegistry",
     "AGENT_REGISTRY",
+    "FAULT_REGISTRY",
     "PRICING_REGISTRY",
     "WORKLOAD_REGISTRY",
     "register_agent",
+    "register_fault",
     "register_pricing",
     "register_workload",
 ]
@@ -155,6 +157,8 @@ AGENT_REGISTRY = VariantRegistry("agent")
 PRICING_REGISTRY = VariantRegistry("pricing")
 #: Workload variants: providers ``(scenario, streams, resources) -> workload``.
 WORKLOAD_REGISTRY = VariantRegistry("workload")
+#: Fault variants: plan factories ``(scenario, streams, specs) -> FaultPlan``.
+FAULT_REGISTRY = VariantRegistry("fault")
 
 #: Decorator registering an agent class, e.g. ``@register_agent("mine")``.
 register_agent = AGENT_REGISTRY.register
@@ -162,3 +166,5 @@ register_agent = AGENT_REGISTRY.register
 register_pricing = PRICING_REGISTRY.register
 #: Decorator registering a workload provider.
 register_workload = WORKLOAD_REGISTRY.register
+#: Decorator registering a fault-plan factory, e.g. ``@register_fault("mine")``.
+register_fault = FAULT_REGISTRY.register

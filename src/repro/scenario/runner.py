@@ -21,10 +21,18 @@ import dataclasses
 import hashlib
 import json
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan
 
 from repro.core.federation import FederationResult
-from repro.scenario.registry import AGENT_REGISTRY, PRICING_REGISTRY, WORKLOAD_REGISTRY
+from repro.scenario.registry import (
+    AGENT_REGISTRY,
+    FAULT_REGISTRY,
+    PRICING_REGISTRY,
+    WORKLOAD_REGISTRY,
+)
 from repro.scenario.scenario import Scenario
 from repro.sim.rng import RandomStreams
 from repro.workload.archive import (
@@ -38,6 +46,7 @@ from repro.workload.job import Job, reset_job_counter
 
 __all__ = [
     "run_scenario",
+    "resolve_fault_plan",
     "result_fingerprint",
     "SweepPoint",
     "SweepResult",
@@ -106,12 +115,25 @@ def resolve_resources(
     return list(ARCHIVE_RESOURCES)
 
 
+def resolve_fault_plan(scenario: Scenario, specs) -> "FaultPlan":
+    """Resolve the scenario's ``faults`` key into a concrete plan.
+
+    The factory draws from a fresh :class:`~repro.sim.rng.RandomStreams` of
+    the scenario's own seed, so the plan is identical no matter which entry
+    point resolves it (keyed streams are pure functions of ``(seed, key)``).
+    """
+    factory = FAULT_REGISTRY.get(scenario.faults)
+    return factory(scenario, RandomStreams(scenario.seed), specs)
+
+
 def run_scenario(
     scenario: Scenario,
     *,
     resources: Optional[Sequence[ArchiveResource]] = None,
     specs=None,
     workload: Optional[Mapping[str, Sequence[Job]]] = None,
+    fault_plan: Optional["FaultPlan"] = None,
+    validate: bool = False,
 ) -> FederationResult:
     """Build and run the federation a scenario describes.
 
@@ -127,6 +149,15 @@ def run_scenario(
         the scenario's workload source is bypassed entirely (this is how the
         legacy ``run_*(specs, workload)`` shims delegate here).  Supply both
         or neither.
+    fault_plan:
+        An explicit :class:`~repro.faults.plan.FaultPlan` overriding the
+        scenario's ``faults`` registry key (tests and ad hoc experiments).
+    validate:
+        Opt-in runtime assertion mode: install a
+        :class:`~repro.validate.RuntimeValidator` that re-checks the
+        simulation invariants after every fault event and validates the full
+        result before returning (raising
+        :class:`~repro.validate.InvariantViolation` on any breach).
     """
     if (specs is None) != (workload is None):
         raise ValueError("pass both specs and workload, or neither")
@@ -144,6 +175,13 @@ def run_scenario(
     federation = federation_factory(
         scenario, specs, workload, scenario.to_config(), agent_class
     )
+    plan = fault_plan if fault_plan is not None else resolve_fault_plan(scenario, federation.specs)
+    if not plan.is_empty():
+        # An empty plan installs nothing: the zero-fault path must stay
+        # byte-identical to a federation that never heard of faults.
+        federation.install_faults(plan)
+    if validate:
+        federation.install_validator()
     return federation.run()
 
 

@@ -27,7 +27,12 @@ from typing import Optional
 from repro.cluster.lrms import SchedulingPolicy
 from repro.core.federation import FederationConfig
 from repro.core.policies import SharingMode
-from repro.scenario.registry import AGENT_REGISTRY, PRICING_REGISTRY, WORKLOAD_REGISTRY
+from repro.scenario.registry import (
+    AGENT_REGISTRY,
+    FAULT_REGISTRY,
+    PRICING_REGISTRY,
+    WORKLOAD_REGISTRY,
+)
 
 __all__ = ["Scenario", "scenario_from_config"]
 
@@ -73,6 +78,12 @@ class Scenario:
         Keep every ``thin``-th job of each resource (1 = full workload).
     repricing_interval:
         Seconds between quote updates for demand-driven pricing variants.
+    faults:
+        Key into the fault registry (``"none"``, ``"crash-recover"``,
+        ``"churn"``, ``"flaky-network"``, ``"load-spike"``, ``"chaos"``, or
+        anything registered via ``@register_fault``).  The resolved
+        :class:`~repro.faults.plan.FaultPlan` is seeded from this scenario's
+        ``seed``, so a ``(seed, faults)`` pair reproduces exactly.
     """
 
     mode: SharingMode = SharingMode.ECONOMY
@@ -88,6 +99,7 @@ class Scenario:
     system_size: Optional[int] = None
     thin: int = 1
     repricing_interval: float = 4 * 3600.0
+    faults: str = "none"
     keep_message_records: bool = False
 
     # ------------------------------------------------------------------ #
@@ -122,6 +134,7 @@ class Scenario:
             (AGENT_REGISTRY, self.agent),
             (PRICING_REGISTRY, self.pricing),
             (WORKLOAD_REGISTRY, self.workload),
+            (FAULT_REGISTRY, self.faults),
         ):
             entry = registry.entry(key)  # raises UnknownVariantError
             if not entry.supports(self.mode):
@@ -170,11 +183,14 @@ class Scenario:
     def describe(self) -> str:
         """One-line human summary used by the CLI and sweep reports."""
         size = self.system_size if self.system_size is not None else 8
-        return (
+        summary = (
             f"mode={self.mode.value} agent={self.agent} pricing={self.pricing} "
             f"workload={self.workload} oft={self.oft_fraction:.2f} "
             f"size={size} thin={self.thin} seed={self.seed}"
         )
+        if self.faults != "none":
+            summary += f" faults={self.faults}"
+        return summary
 
 
 def scenario_from_config(config: FederationConfig, **overrides) -> Scenario:

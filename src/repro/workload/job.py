@@ -44,6 +44,9 @@ class JobStatus(enum.Enum):
     RUNNING = enum.auto()
     COMPLETED = enum.auto()
     REJECTED = enum.auto()
+    #: Lost to an injected fault (cluster crash, transit loss); only reachable
+    #: when a fault plan is active and always carries an attribution reason.
+    FAILED = enum.auto()
 
 
 _job_counter = itertools.count(1)
@@ -100,6 +103,10 @@ class Job:
     cost_paid: Optional[float] = None
     negotiation_rounds: int = 0
     messages: int = 0
+    # Fault bookkeeping: only touched when a fault plan is active.
+    failure: Optional[str] = None
+    failed_time: Optional[float] = None
+    resubmissions: int = 0
 
     def __post_init__(self) -> None:
         if self.num_processors < 1:
@@ -186,6 +193,32 @@ class Job:
         """Record that no resource in the federation could take the job."""
         self.status = JobStatus.REJECTED
         self.executed_on = None
+
+    def mark_failed(self, time: float, reason: str) -> None:
+        """Record that the job was lost to an injected fault.
+
+        ``reason`` attributes the loss (e.g. ``"cluster X crashed"``); the
+        job-conservation invariant rejects unattributed failures.
+        """
+        if not reason:
+            raise ValueError("a failed job needs an attribution reason")
+        self.status = JobStatus.FAILED
+        self.failure = reason
+        self.failed_time = time
+        self.executed_on = None
+        self.start_time = None
+
+    def prepare_resubmission(self) -> None:
+        """Reset placement state so the origin GFA can re-negotiate the job.
+
+        Used when the cluster hosting the job crashes before completion: the
+        job returns to the superscheduling pipeline as if freshly submitted,
+        keeping its identity, QoS parameters and message history.
+        """
+        self.status = JobStatus.SUBMITTED
+        self.executed_on = None
+        self.start_time = None
+        self.resubmissions += 1
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return (

@@ -1,0 +1,53 @@
+"""Shared scenario shapes and fault plans for the invariant test harness."""
+
+from __future__ import annotations
+
+from repro.faults import FaultPlan
+from repro.scenario import Scenario
+
+#: Compressed submission window: over-subscribes the clusters so the
+#: federation actually migrates, negotiates and settles under faults.
+HORIZON = 6 * 3600.0
+
+#: Reduced-scale stand-ins for the five experiment shapes (Section 3).
+EXPERIMENT_SHAPES = {
+    "exp1_independent": Scenario(
+        mode="independent", workload="synthetic", horizon=HORIZON, thin=10, seed=42
+    ),
+    "exp2_federation": Scenario(
+        mode="federation", workload="synthetic", horizon=HORIZON, thin=10, seed=42
+    ),
+    "exp3_economy": Scenario(
+        mode="economy", oft_fraction=0.3, workload="synthetic", horizon=HORIZON, thin=10, seed=42
+    ),
+    "exp4_messages": Scenario(
+        mode="economy", oft_fraction=0.7, workload="synthetic", horizon=HORIZON, thin=10, seed=42
+    ),
+    "exp5_scalability": Scenario(
+        mode="economy",
+        oft_fraction=0.3,
+        workload="synthetic",
+        horizon=HORIZON,
+        system_size=12,
+        thin=12,
+        seed=42,
+    ),
+}
+
+
+def canonical_crash_plan() -> FaultPlan:
+    """The seeded crash/recover + churn + spike + flaky-network plan.
+
+    Timed against the busy windows of the 42-seeded synthetic workload so
+    that crashes demonstrably kill running jobs, remote-origin jobs get
+    re-negotiated, and negotiations against dead clusters time out.
+    """
+    return (
+        FaultPlan()
+        .crash("LANL Origin", at=5_000.0, duration=9_000.0)
+        .crash("KTH SP2", at=22_000.0, duration=4_000.0)
+        .leave("SDSC Blue", at=2_000.0)
+        .rejoin("SDSC Blue", at=15_000.0)
+        .load_spike("NASA iPSC", at=3_000.0, duration=4_000.0, fraction=0.75)
+        .perturb(0.0, 2 * HORIZON, loss_rate=0.05, submission_delay=45.0)
+    )

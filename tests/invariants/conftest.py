@@ -1,0 +1,13 @@
+"""Fixtures for the simulation-invariant test harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from _shapes import canonical_crash_plan
+from repro.faults import FaultPlan
+
+
+@pytest.fixture
+def crash_plan() -> FaultPlan:
+    return canonical_crash_plan()

@@ -1,0 +1,110 @@
+"""Property tests: the invariants hold under *random* fault plans.
+
+Hypothesis draws a seed for :func:`repro.faults.random_fault_plan` (which
+then expands it through the repository's own seeded NumPy streams) plus a
+scenario seed and sharing mode; every drawn combination must run to
+completion with the whole invariant suite green.  This is the
+stability-under-perturbation discipline: not one golden run, but a
+neighbourhood of perturbed runs that all satisfy the same laws.
+
+Marked ``invariants``: excluded from the default (tier-1) run and executed
+as a separate CI matrix entry with a fixed hypothesis seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultKind, FaultPlan, random_fault_plan
+from repro.scenario import Scenario, result_fingerprint, run_scenario
+from repro.validate import validate_result
+from repro.workload.job import JobStatus
+
+pytestmark = pytest.mark.invariants
+
+#: Small but over-subscribed: every run migrates and negotiates.
+_HORIZON = 6 * 3600.0
+_TERMINAL = (JobStatus.COMPLETED, JobStatus.REJECTED, JobStatus.FAILED)
+
+
+def _scenario(mode: str, seed: int) -> Scenario:
+    return Scenario(
+        mode=mode,
+        workload="synthetic",
+        horizon=_HORIZON,
+        thin=25,
+        seed=seed,
+        oft_fraction=0.3,
+    )
+
+
+def _draw_plan(plan_seed: int, cluster_names, lossy: bool) -> FaultPlan:
+    rng = np.random.default_rng(plan_seed)
+    return random_fault_plan(
+        rng,
+        cluster_names,
+        _HORIZON,
+        max_events=5,
+        kinds=(FaultKind.CRASH, FaultKind.LEAVE, FaultKind.LOAD_SPIKE),
+        max_loss_rate=0.3 if lossy else 0.0,
+        submission_delay=60.0 if lossy else 0.0,
+    )
+
+
+@given(
+    plan_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    scenario_seed=st.integers(min_value=0, max_value=10_000),
+    mode=st.sampled_from(["federation", "economy"]),
+    lossy=st.booleans(),
+)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_random_fault_plans_preserve_every_invariant(plan_seed, scenario_seed, mode, lossy):
+    scenario = _scenario(mode, scenario_seed)
+    probe = run_scenario(scenario.replace(thin=400))  # cheap spec discovery
+    names = probe.resource_names()
+    plan = _draw_plan(plan_seed, names, lossy)
+    result = run_scenario(scenario, fault_plan=plan, validate=True)
+    violations = validate_result(result)
+    assert violations == [], [str(v) for v in violations]
+    assert all(job.status in _TERMINAL for job in result.jobs)
+    if result.faults is not None:
+        assert all(job.failure for job in result.failed_jobs())
+
+
+@given(
+    plan_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    scenario_seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_random_fault_plans_are_deterministic(plan_seed, scenario_seed):
+    scenario = _scenario("economy", scenario_seed)
+    probe = run_scenario(scenario.replace(thin=400))
+    plan = _draw_plan(plan_seed, probe.resource_names(), lossy=True)
+    first = run_scenario(scenario, fault_plan=plan)
+    second = run_scenario(scenario, fault_plan=plan)
+    assert result_fingerprint(first) == result_fingerprint(second)
+
+
+@given(plan_seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_random_plans_are_well_formed(plan_seed):
+    """Plan generation itself: events validate, pairs stay in order."""
+    rng = np.random.default_rng(plan_seed)
+    names = [f"C{i}" for i in range(6)]
+    plan = random_fault_plan(rng, names, _HORIZON, max_events=6, max_loss_rate=0.2)
+    assert not plan.is_empty()
+    plan.validate_targets(names)
+    times = [event.time for event in plan.scheduled()]
+    assert times == sorted(times)
+    # every LEAVE has a REJOIN strictly after it for the same target
+    leaves = [e for e in plan.events if e.kind is FaultKind.LEAVE]
+    for leave in leaves:
+        rejoin = [
+            e
+            for e in plan.events
+            if e.kind is FaultKind.REJOIN and e.target == leave.target and e.time > leave.time
+        ]
+        assert rejoin

@@ -1,0 +1,86 @@
+"""Golden-fingerprint regression tests for the five experiment shapes.
+
+Each digest below was produced by :func:`repro.scenario.result_fingerprint`
+on a reduced-scale but *active* version of the corresponding experiment (the
+compressed synthetic horizon over-subscribes the clusters, so the federation
+shapes actually migrate, negotiate and settle payments).  Any refactor that
+silently changes a job placement, a message count, a price or a utilisation
+figure flips the digest and fails here.
+
+If a change is *meant* to alter results, regenerate the constants with::
+
+    PYTHONPATH=src python -c "
+    from tests.test_golden_fingerprints import GOLDEN_SCENARIOS
+    from repro.scenario import run_scenario, result_fingerprint
+    for name, scenario in GOLDEN_SCENARIOS.items():
+        print(name, result_fingerprint(run_scenario(scenario)))"
+
+and say why in the commit message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario import Scenario, result_fingerprint, run_scenario
+
+#: Compressed submission window: ~2x over-subscription of the Table 1 trace.
+_HORIZON = 6 * 3600.0
+
+#: Reduced-scale stand-ins for Experiments 1-5 (all jobs still flow through
+#: the same code paths as the full-scale tables and figures).
+GOLDEN_SCENARIOS = {
+    "exp1_independent": Scenario(
+        mode="independent", workload="synthetic", horizon=_HORIZON, thin=10, seed=42
+    ),
+    "exp2_federation": Scenario(
+        mode="federation", workload="synthetic", horizon=_HORIZON, thin=10, seed=42
+    ),
+    "exp3_economy": Scenario(
+        mode="economy", oft_fraction=0.3, workload="synthetic", horizon=_HORIZON, thin=10, seed=42
+    ),
+    "exp4_messages": Scenario(
+        mode="economy", oft_fraction=0.7, workload="synthetic", horizon=_HORIZON, thin=10, seed=42
+    ),
+    "exp5_scalability": Scenario(
+        mode="economy",
+        oft_fraction=0.3,
+        workload="synthetic",
+        horizon=_HORIZON,
+        system_size=12,
+        thin=12,
+        seed=42,
+    ),
+}
+
+#: Pinned digests (see module docstring for the regeneration recipe).
+GOLDEN_FINGERPRINTS = {
+    "exp1_independent": "1ab30c78def5c05633c9c5857fef7d08dba29b5e5704626d04b65a8973081fc0",
+    "exp2_federation": "f0e4bd1a661406a278bc8c9075616538f975587672ec8ab0d2bcd1a3b6e02862",
+    "exp3_economy": "1a0829b50110862653dadb9cca4e29185e465459e1e94836a35ea28c12460ac8",
+    "exp4_messages": "f2737f95264cebccf064f7ea0bfa375393297293f1b2cc04edcc8300f7023221",
+    "exp5_scalability": "4cd88db08e12be831b27b541c68cba755509521ea4712544075b87ffe53d070e",
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+def test_golden_fingerprint(name):
+    result = run_scenario(GOLDEN_SCENARIOS[name])
+    assert result_fingerprint(result) == GOLDEN_FINGERPRINTS[name], (
+        f"{name} drifted from its golden fingerprint — a code change altered "
+        "simulation results; if intended, regenerate the constants (see "
+        "module docstring)"
+    )
+
+
+def test_goldens_are_distinct():
+    """The five shapes must not collapse onto each other (that would mean a
+    shape is too sparse to exercise its experiment's distinguishing path)."""
+    assert len(set(GOLDEN_FINGERPRINTS.values())) == len(GOLDEN_FINGERPRINTS)
+
+
+def test_golden_shapes_are_active():
+    """The federation shapes really migrate jobs and exchange messages."""
+    result = run_scenario(GOLDEN_SCENARIOS["exp2_federation"])
+    assert sum(1 for job in result.jobs if job.was_migrated) > 0
+    assert result.message_log.total_messages > 0

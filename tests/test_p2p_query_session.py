@@ -109,6 +109,108 @@ class TestSessionMatchesOracle:
             assert (got.gfa_name if got else None) == want
 
 
+class TestSessionIterationSurvivesUnsubscribe:
+    """Sequential ``next()`` iteration across membership churn.
+
+    ``kth(rank)`` is positional and always answers like a fresh query (the
+    oracle tests above).  ``next()`` is the negotiation iterator: it must
+    serve each live candidate exactly once.  Before the fix, an unsubscribe
+    mid-iteration (how a dead member's stale quote is invalidated) shifted
+    the ranks under the session's positional counter, so the iteration either
+    *skipped* a live candidate it had never probed or *re-served* one it had
+    already consumed — both observable as wrong negotiation sequences under
+    churn.  These tests pin the corrected semantics and fail on the old code.
+    """
+
+    def _directory(self):
+        directory = FederationDirectory(rng=np.random.default_rng(0))
+        for i, price in enumerate([1.0, 2.0, 3.0, 4.0]):
+            directory.subscribe(f"GFA-{i}", make_spec(f"GFA-{i}", price, 500.0, 4))
+        return directory
+
+    def test_unsubscribe_of_served_member_does_not_skip_unprobed_one(self):
+        directory = self._directory()
+        session = directory.open_session(RankCriterion.CHEAPEST)
+        assert session.next().gfa_name == "GFA-0"
+        # GFA-0 turns out to be dead: its quote is invalidated.
+        directory.unsubscribe("GFA-0")
+        # The next candidate must be GFA-1 — the cheapest never probed — not
+        # GFA-2 (which positional continuation at rank 2 would yield).
+        assert session.next().gfa_name == "GFA-1"
+        assert session.next().gfa_name == "GFA-2"
+        assert session.next().gfa_name == "GFA-3"
+        assert session.next() is None
+
+    def test_mid_iteration_unsubscribe_of_later_member(self):
+        directory = self._directory()
+        session = directory.open_session(RankCriterion.CHEAPEST)
+        assert session.next().gfa_name == "GFA-0"
+        assert session.next().gfa_name == "GFA-1"
+        directory.unsubscribe("GFA-1")  # an already-consumed quote departs
+        assert session.next().gfa_name == "GFA-2"
+        assert session.next().gfa_name == "GFA-3"
+        assert session.next() is None
+
+    def test_new_cheapest_subscriber_is_served_not_a_repeat(self):
+        directory = self._directory()
+        session = directory.open_session(RankCriterion.CHEAPEST)
+        assert session.next().gfa_name == "GFA-0"
+        directory.subscribe("GFA-9", make_spec("GFA-9", 0.5, 500.0, 4))
+        # The newcomer now ranks first and was never probed: it must be
+        # served next; positional continuation would re-serve GFA-0.
+        assert session.next().gfa_name == "GFA-9"
+        assert session.next().gfa_name == "GFA-1"
+
+    def test_exhausted_session_stays_exhausted_for_served_members(self):
+        directory = self._directory()
+        session = directory.open_session(RankCriterion.CHEAPEST)
+        served = [quote.gfa_name for quote in session]
+        assert served == ["GFA-0", "GFA-1", "GFA-2", "GFA-3"]
+        # A membership bump must not re-serve anything already consumed...
+        directory.unsubscribe("GFA-2")
+        assert session.next() is None
+        # ...but a genuinely new member is still served.
+        directory.subscribe("GFA-9", make_spec("GFA-9", 9.0, 500.0, 4))
+        assert session.next().gfa_name == "GFA-9"
+
+    def test_scan_session_has_identical_churn_semantics(self):
+        directory = self._directory()
+        directory.query_mode = "scan"
+        session = directory.open_session(RankCriterion.CHEAPEST)
+        assert session.next().gfa_name == "GFA-0"
+        directory.unsubscribe("GFA-0")
+        assert session.next().gfa_name == "GFA-1"
+        directory.subscribe("GFA-9", make_spec("GFA-9", 0.5, 500.0, 4))
+        assert session.next().gfa_name == "GFA-9"
+        assert session.next().gfa_name == "GFA-2"
+
+    @given(ops=_ops, criterion=st.sampled_from(list(RankCriterion)))
+    @settings(max_examples=80, deadline=None)
+    def test_iteration_serves_each_live_candidate_at_most_once(self, ops, criterion):
+        """Under arbitrary churn, ``next()`` never repeats a name and every
+        quote it serves was live (present in the oracle) at serving time."""
+        directory = FederationDirectory(rng=np.random.default_rng(3))
+        session = directory.open_session(criterion)
+        served = []
+        for kind, idx, price, mips, procs in ops:
+            name = f"GFA-{idx}"
+            price, mips = round(price, 3), round(mips, 1)
+            members = {q.gfa_name for q in directory.quotes()}
+            if kind == "subscribe" and name not in members:
+                directory.subscribe(name, make_spec(name, price, mips, procs))
+            elif kind == "unsubscribe" and name in members:
+                directory.unsubscribe(name)
+            elif kind == "update" and name in members:
+                directory.update_quote(name, make_spec(name, price, mips, procs))
+            elif kind == "probe":
+                quote = session.next()
+                if quote is not None:
+                    live = {q.gfa_name for q in directory.quotes()}
+                    assert quote.gfa_name in live
+                    served.append(quote.gfa_name)
+        assert len(served) == len(set(served))
+
+
 class TestRankingCache:
     def test_cache_hit_serves_without_overlay_hops(self):
         directory = FederationDirectory(rng=np.random.default_rng(0))
@@ -212,6 +314,53 @@ class TestSkipListCursor:
                 break
             walked.append(item[0])
         assert walked == sorted(keys)[start - 1 :]
+
+    @given(
+        keys=st.lists(
+            st.integers(min_value=0, max_value=500), min_size=2, max_size=60, unique=True
+        ),
+        advances=st.integers(min_value=0, max_value=60),
+        delete_pick=st.integers(min_value=0, max_value=59),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_deletion_invalidates_open_cursor_and_reseek_is_exact(
+        self, keys, advances, delete_pick
+    ):
+        """Node *deletion* during an open cursor: the mutation stamp must
+        invalidate the cursor immediately (its node references may now point
+        into the removed chain), every further ``advance`` must raise, and a
+        re-seek from the cursor's last confirmed rank must walk exactly the
+        sorted remainder — the oracle a resumable directory sweep relies on."""
+        index = SkipListIndex(rng=np.random.default_rng(4))
+        for key in keys:
+            index.insert(key, key)
+        cursor = index.cursor()
+        walked = []
+        for _ in range(min(advances, len(keys))):
+            item = cursor.advance()
+            if item is None:
+                break
+            walked.append(item[0])
+        victim = sorted(keys)[delete_pick % len(keys)]
+        index.remove(victim)
+        assert not cursor.valid
+        with pytest.raises(OverlayError):
+            cursor.advance()
+        with pytest.raises(OverlayError):
+            cursor.advance()  # stays dead: no accidental resurrection
+        # Re-seek: continue after the last element the dead cursor confirmed,
+        # skipping the victim if it was not consumed yet.
+        remaining = [k for k in sorted(keys) if k != victim and (not walked or k > walked[-1])]
+        fresh = index.cursor(start_rank=1)
+        replay = []
+        while True:
+            item = fresh.advance()
+            if item is None:
+                break
+            replay.append(item[0])
+        assert replay == [k for k in sorted(keys) if k != victim]
+        tail = [k for k in replay if not walked or k > walked[-1]]
+        assert tail == remaining
 
 
 class TestSweepDeterminismOnSessionPath:
