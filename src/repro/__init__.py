@@ -43,6 +43,12 @@ New variants register in ten lines — see ``docs/API.md``::
 
     run_scenario(Scenario(agent="mine"))
 
+Every cross-entity message rides a pluggable transport; topologies and a
+sharded directory are scenario data too — see ``docs/ARCHITECTURE.md``::
+
+    result = run_scenario(Scenario(transport="two-tier-wan", directory_shards=4))
+    print(result.network.messages, result.network.latency_s)
+
 See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-versus-measured record of every table and figure.
 """
@@ -59,7 +65,8 @@ from repro.core import (
 )
 from repro.cluster import ResourceSpec, SpaceSharedLRMS, SchedulingPolicy
 from repro.economy import GridBank, StaticPricingPolicy, DemandDrivenPricingPolicy
-from repro.p2p import FederationDirectory, RankCriterion
+from repro.net import Transport, TransportStats, available_topologies, register_topology
+from repro.p2p import FederationDirectory, RankCriterion, ShardedDirectory
 from repro.faults import FaultPlan, random_fault_plan
 from repro.scenario import (
     Scenario,
@@ -117,6 +124,11 @@ __all__ = [
     "DemandDrivenPricingPolicy",
     "FederationDirectory",
     "RankCriterion",
+    "ShardedDirectory",
+    "Transport",
+    "TransportStats",
+    "available_topologies",
+    "register_topology",
     "RandomStreams",
     "Simulator",
     "Job",

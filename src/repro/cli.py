@@ -12,8 +12,8 @@ scenarios from the shell::
 
     # hot-path performance benchmarks (directory queries, event kernel,
     # Table-3 end to end) with a JSON report and CI regression gate:
-    gridfed bench --scale smoke --out BENCH_perf.json
-    gridfed bench --scale full --baseline benchmarks/BENCH_baseline.json
+    gridfed bench --scale smoke                  # writes benchmarks/BENCH_perf.json
+    gridfed bench --compare benchmarks/BENCH_baseline.json
 
     # any registered scenario, declaratively:
     gridfed run --agent broadcast --thin 10
@@ -22,6 +22,9 @@ scenarios from the shell::
     # fault injection and the runtime invariant checker:
     gridfed run --faults crash-recover --thin 10 --validate
     gridfed sweep --faults chaos --profiles 0 50 100 --thin 10
+
+    # the message fabric: WAN topologies and a sharded directory:
+    gridfed run --topology two-tier-wan --shards 4 --thin 10 --validate
 
     # parameter sweeps, parallel and memo-hashed:
     gridfed sweep --profiles 0 10 20 30 40 50 60 70 80 90 100 --workers 4
@@ -192,6 +195,8 @@ def _scenario_from_args(args, oft_pct: Optional[float] = None) -> Scenario:
         thin=args.thin,
         system_size=args.size,
         faults=args.faults,
+        transport=args.topology,
+        directory_shards=args.shards,
     )
 
 
@@ -219,6 +224,14 @@ def cmd_run(args) -> str:
             f"downtime={fm.total_downtime:.0f}s "
             f"sla_violations={fm.sla_violation_rate:.3f}\n"
         )
+    net = result.network
+    if net is not None and (scenario.transport != "uniform" or scenario.directory_shards != 1):
+        summary += (
+            f"net: topology={scenario.transport} shards={scenario.directory_shards} "
+            f"messages={net.messages} volume={net.volume_mb:.1f}MB "
+            f"latency={net.latency_s:.1f}s timeouts={net.timeouts} "
+            f"delayed={net.delayed_deliveries} directory_msgs={net.control_messages}\n"
+        )
     if args.validate:
         summary += "invariants: all checks passed\n"
     return table + summary
@@ -233,6 +246,8 @@ def cmd_sweep(args) -> str:
         seed=args.seed,
         thin=args.thin,
         faults=args.faults,
+        transport=args.topology,
+        directory_shards=args.shards,
     )
     runner = SweepRunner(workers=args.workers)
     if args.sizes:
@@ -266,9 +281,20 @@ def cmd_sweep(args) -> str:
     return render_table(headers, rows, title=title)
 
 
+def _load_baseline(path: str):
+    import json as _json
+    from pathlib import Path as _Path
+
+    try:
+        return _json.loads(_Path(path).read_text(encoding="utf-8"))
+    except (OSError, _json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+
+
 def cmd_bench(args) -> str:
     from repro.perf import (
         compare_to_baseline,
+        render_comparison,
         render_report,
         run_benchmarks,
         write_report,
@@ -277,14 +303,21 @@ def cmd_bench(args) -> str:
     report = run_benchmarks(args.scale, seed=args.seed)
     path = write_report(report, args.out)
     output = render_report(report) + f"\nreport written to {path}\n"
-    if args.baseline:
-        import json as _json
-        from pathlib import Path as _Path
-
-        try:
-            baseline = _json.loads(_Path(args.baseline).read_text(encoding="utf-8"))
-        except (OSError, _json.JSONDecodeError) as exc:
-            raise ValueError(f"cannot read baseline {args.baseline}: {exc}") from exc
+    if args.compare:
+        baseline = _load_baseline(args.compare)
+        table, problems = render_comparison(
+            report, baseline, max_regression=args.max_regression
+        )
+        if problems:
+            # Ship the ratio table with the error so a red CI log shows the
+            # whole per-benchmark picture, not just the failing lines.
+            raise ValueError(
+                f"performance regression vs {args.compare}:\n{table}\n  "
+                + "\n  ".join(problems)
+            )
+        output += "\n" + table
+    elif args.baseline:
+        baseline = _load_baseline(args.baseline)
         problems = compare_to_baseline(report, baseline, max_regression=args.max_regression)
         if problems:
             raise ValueError(
@@ -320,7 +353,8 @@ _COMMAND_HELP = {
     "figure10": "message complexity vs system size (Figures 10-11)",
     "run": "run any registered scenario and print its processing table",
     "sweep": "run a profile/size sweep of a registered scenario (parallelisable)",
-    "bench": "hot-path perf benchmarks; writes BENCH_perf.json, optional regression gate",
+    "bench": "hot-path perf benchmarks; writes benchmarks/BENCH_perf.json, "
+    "optional regression gate (--baseline / --compare)",
 }
 
 
@@ -350,6 +384,19 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
         "--faults",
         default="none",
         help=f"fault variant ({', '.join(FAULT_REGISTRY.available())})",
+    )
+    from repro.net import available_topologies
+
+    parser.add_argument(
+        "--topology",
+        default="uniform",
+        help=f"transport topology ({', '.join(available_topologies())})",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="directory shard count (1 = single shared directory)",
     )
 
 
@@ -458,13 +505,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--out",
-        default="BENCH_perf.json",
-        help="path of the JSON report to write",
+        default="benchmarks/BENCH_perf.json",
+        help="path of the JSON report to write (git-ignored by default)",
     )
     bench_parser.add_argument(
         "--baseline",
         default=None,
         help="baseline BENCH_perf.json to gate against (exit 2 on regression)",
+    )
+    bench_parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="like --baseline, but prints a per-benchmark ratio table with "
+        "pass/fail against the regression gate",
     )
     bench_parser.add_argument(
         "--max-regression",

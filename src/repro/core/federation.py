@@ -19,7 +19,10 @@ from repro.core.messages import MessageLog
 from repro.core.policies import SharingMode
 from repro.core.users import UserPopulation
 from repro.economy.bank import GridBank
+from repro.net.topology import build_topology
+from repro.net.transport import Transport, TransportStats
 from repro.p2p.directory import FederationDirectory
+from repro.p2p.sharded import create_directory
 from repro.sim.engine import Simulator
 from repro.sim.entity import EntityRegistry
 from repro.sim.rng import RandomStreams
@@ -54,6 +57,15 @@ class FederationConfig:
         Root seed for every stochastic component of the run.
     keep_message_records:
         Retain individual message records (memory-heavier; useful in tests).
+    transport:
+        Topology/latency model key for the message fabric (``"uniform"``,
+        ``"star"``, ``"ring"``, ``"two-tier-wan"``, or anything registered
+        via :func:`repro.net.register_topology`).  The default ``"uniform"``
+        is the paper's zero-latency model and keeps runs byte-identical to
+        the pre-transport code paths.
+    directory_shards:
+        Number of directory peer shards the quotes are partitioned across
+        (1 = the historical single shared directory).
     """
 
     mode: SharingMode = SharingMode.ECONOMY
@@ -64,6 +76,8 @@ class FederationConfig:
     horizon: float = 2 * 86_400.0
     seed: int = 42
     keep_message_records: bool = False
+    transport: str = "uniform"
+    directory_shards: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.oft_fraction <= 1.0:
@@ -78,6 +92,10 @@ class FederationConfig:
             )
         if self.horizon <= 0:
             raise ValueError(f"horizon must be positive, got {self.horizon}")
+        if self.directory_shards < 1:
+            raise ValueError(
+                f"directory_shards must be at least 1, got {self.directory_shards}"
+            )
 
 
 @dataclass
@@ -108,6 +126,10 @@ class FederationResult:
     events_processed: int
     #: Fault accounting (``None`` on the zero-fault path).
     faults: Optional["FaultReport"] = None
+    #: Transport-derived traffic accounting (message counts, latency, losses,
+    #: directory control-plane fan-out); ``None`` only for legacy callers
+    #: that build results by hand.
+    network: Optional[TransportStats] = None
 
     # ------------------------------------------------------------------ #
     # Convenience queries used throughout metrics / experiments / benches
@@ -180,10 +202,25 @@ class Federation:
         self.sim = Simulator()
         self.registry = EntityRegistry()
         self.message_log = MessageLog(keep_records=self.config.keep_message_records)
+        # The message fabric: every cross-entity interaction rides it.  The
+        # MessageLog observes it, so Experiment 4/5 message accounting is
+        # derived from the traffic that actually flowed.
+        topology = build_topology(
+            self.config.transport,
+            [spec.name for spec in self.specs],
+            rng=self.streams.get("net/latency"),
+        )
+        self.transport = Transport(
+            self.sim, topology, rng=self.streams.get("net/latency")
+        )
+        self.transport.add_observer(self.message_log)
         self.bank: Optional[GridBank] = GridBank() if self.config.mode is SharingMode.ECONOMY else None
         self.directory: Optional[FederationDirectory] = None
         if self.config.mode is not SharingMode.INDEPENDENT:
-            self.directory = FederationDirectory(rng=self.streams.get("directory/overlay"))
+            self.directory = create_directory(
+                self.streams, self.config.directory_shards
+            )
+            self.directory.attach_transport(self.transport)
 
         self._prepare_jobs()
         self.gfas: Dict[str, GridFederationAgent] = {}
@@ -198,6 +235,7 @@ class Federation:
                 directory=self.directory,
                 bank=self.bank,
                 lrms_policy=self.config.lrms_policy,
+                transport=self.transport,
             )
             self.gfas[spec.name] = gfa
             population = UserPopulation(self.sim, self.registry, spec.name, self.workload[spec.name])
@@ -327,6 +365,7 @@ class Federation:
             observation_period=observation_period,
             events_processed=self.sim.events_processed,
             faults=faults,
+            network=self.transport.stats,
         )
         if self._validator is not None:
             self._validator.validate_end(self, result)

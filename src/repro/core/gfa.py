@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.injector import FaultInjector
 from repro.core.policies import SharingMode, rank_criterion_for
 from repro.economy.bank import GridBank
+from repro.net.transport import Transport
 from repro.p2p.directory import DirectoryQuote, FederationDirectory
 from repro.sim.engine import Simulator
 from repro.sim.entity import Entity, EntityRegistry
@@ -47,8 +48,9 @@ class GFAStatistics:
     rejected: int = 0
     negotiations_sent: int = 0
     negotiations_refused: int = 0
-    #: Enquiries that never received a reply (dead peer or lost message);
-    #: stays zero unless a fault plan is active.
+    #: Enquiries that never received a reply (dead peer, lossy fault window,
+    #: or datagram loss on a lossy transport topology); stays zero on the
+    #: default uniform topology without a fault plan.
     negotiation_timeouts: int = 0
     #: Jobs re-entering superscheduling after their host crashed.
     resubmitted: int = 0
@@ -93,6 +95,11 @@ class GridFederationAgent(Entity):
         The :class:`~repro.core.policies.SharingMode` of the experiment.
     lrms_policy:
         Queueing policy of the local LRMS.
+    transport:
+        The federation's shared message fabric.  When ``None`` (hand-built
+        test worlds) a private zero-latency transport is created with the
+        message log as its observer — behaviourally identical to the shared
+        default transport.
     """
 
     def __init__(
@@ -105,6 +112,7 @@ class GridFederationAgent(Entity):
         directory: Optional[FederationDirectory] = None,
         bank: Optional[GridBank] = None,
         lrms_policy: SchedulingPolicy = SchedulingPolicy.FCFS,
+        transport: Optional[Transport] = None,
     ):
         super().__init__(sim, spec.name, registry)
         self.spec = spec
@@ -112,6 +120,10 @@ class GridFederationAgent(Entity):
         self.directory = directory
         self.bank = bank
         self.message_log = message_log
+        if transport is None:
+            transport = Transport(sim)
+            transport.add_observer(message_log)
+        self.transport = transport
         self.lrms = SpaceSharedLRMS(sim, spec, policy=lrms_policy, on_job_complete=self._on_lrms_completion)
         self.admission = AdmissionController(self.lrms)
         self.stats = GFAStatistics()
@@ -266,24 +278,23 @@ class GridFederationAgent(Entity):
     def _enquire(self, remote: "GridFederationAgent", job: Job) -> Optional[AdmissionDecision]:
         """Send one admission enquiry; ``None`` means the round trip timed out.
 
-        The NEGOTIATE message is always recorded (it was sent); the REPLY is
-        only recorded when it actually arrives.  Timeouts happen when the
-        contacted cluster is dead — in which case its stale directory quote is
-        invalidated so later query sessions skip it — or when an active
-        network perturbation loses the round trip.
+        The whole exchange rides the transport: the NEGOTIATE is always
+        accounted (it was sent); the REPLY only when the round trip survives
+        the peer's liveness, any active lossy fault window, and the link's
+        datagram loss.  On a timeout against a dead peer the fault injector
+        invalidates the stale directory quote so later query sessions skip
+        it (lazy discovery).
         """
         self.stats.negotiations_sent += 1
-        self.message_log.record(
-            MessageType.NEGOTIATE, self.name, remote.name, job, time=self.sim.now
+        delivered = self.transport.roundtrip(
+            self.name, remote.name, job, responder_alive=remote.alive
         )
-        if self.faults is not None and not self.faults.enquiry_delivered(self, remote, job):
+        if not delivered:
             self.stats.negotiation_timeouts += 1
+            if self.faults is not None:
+                self.faults.note_negotiation_timeout(self, remote, job)
             return None
-        decision = remote.handle_admission_request(job)
-        self.message_log.record(
-            MessageType.REPLY, remote.name, self.name, job, time=self.sim.now
-        )
-        return decision
+        return remote.handle_admission_request(job)
 
     def _negotiate(self, quote: DirectoryQuote, job: Job) -> bool:
         """One-to-one admission-control negotiation with a remote GFA."""
@@ -296,28 +307,31 @@ class GridFederationAgent(Entity):
         return decision.accepted
 
     def _migrate(self, quote: DirectoryQuote, job: Job) -> None:
-        """Transfer the job to the accepting remote GFA."""
+        """Transfer the job to the accepting remote GFA (via the transport).
+
+        The transport decides the transfer's fate: lost outright inside a
+        lossy fault window, delayed by slow-network windows and by the
+        topology's latency / bandwidth, or — on the default zero-latency
+        path — handed over synchronously.
+        """
         remote: GridFederationAgent = self.registry.lookup(quote.gfa_name)
         self.stats.migrated_out += 1
-        self.message_log.record(
-            MessageType.JOB_SUBMISSION, self.name, remote.name, job, time=self.sim.now
-        )
-        if self.faults is not None:
-            fate, delay = self.faults.submission_fate(self, remote, job)
-            if fate == "lost":
-                job.mark_failed(
-                    self.sim.now,
-                    f"job-submission to {remote.name} lost in transit",
-                )
-                self.faults.note_job_lost(job)
-                return
-            if delay > 0.0:
-                self.sim.schedule(delay, self._deliver_migrated, remote.name, job)
-                return
+        fate, delay = self.transport.transfer(self.name, remote.name, job)
+        if fate == "lost":
+            job.mark_failed(
+                self.sim.now,
+                f"job-submission to {remote.name} lost in transit",
+            )
+            if self.faults is not None:
+                self.faults.note_transit_loss(job)
+            return
+        if delay > 0.0:
+            self.sim.schedule(delay, self._deliver_migrated, remote.name, job)
+            return
         remote.receive_remote_job(job, origin_gfa=self.name)
 
     def _deliver_migrated(self, remote_name: str, job: Job) -> None:
-        """Deliver a delayed job transfer (only scheduled under faults)."""
+        """Deliver a delayed job transfer (latency topologies, slow windows)."""
         remote: GridFederationAgent = self.registry.lookup(remote_name)
         if remote.alive:
             remote.receive_remote_job(job, origin_gfa=self.name)
@@ -364,9 +378,7 @@ class GridFederationAgent(Entity):
             )
         origin_gfa = self._remote_job_origins.pop(job.job_id, None)
         if origin_gfa is not None:
-            self.message_log.record(
-                MessageType.JOB_COMPLETION, self.name, origin_gfa, job, time=self.sim.now
-            )
+            self.transport.notify(self.name, origin_gfa, MessageType.JOB_COMPLETION, job)
 
     # ------------------------------------------------------------------ #
     # Fault interface (driven by :class:`repro.faults.injector.FaultInjector`)

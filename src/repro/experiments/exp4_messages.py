@@ -4,6 +4,14 @@ The experiment re-uses the Experiment 3 population-profile sweep and counts,
 per GFA, the negotiate / reply / job-submission / job-completion messages
 exchanged to schedule jobs, classified as *local* (scheduling the GFA's own
 users' jobs) or *remote* (work done for other sites' jobs).
+
+The counts are *derived from actual traffic*: every inter-GFA message rides
+the federation's :class:`~repro.net.transport.Transport`, which the
+:class:`~repro.core.messages.MessageLog` observes — nothing is instrumented
+at the call sites.  ``result.network`` carries the transport's own tallies
+(tested to agree job-for-job with the MessageLog on the default path), and
+:func:`repro.metrics.collectors.network_summary` exposes them, directory
+control-plane fan-out included.
 """
 
 from __future__ import annotations

@@ -19,9 +19,13 @@ and threads failure semantics through the whole stack:
 * **load spike** — synthetic background jobs (``user_id < 0``) occupy part of
   the cluster, degrading every deadline estimate that the admission
   controller hands out;
-* **network perturbations** — negotiate/reply round trips are lost with the
-  window's probability (the origin observes a timeout) and job-submission
-  transfers are delayed or lost in transit.
+* **network perturbations** — the plan's degraded-network windows are
+  installed on the federation's :class:`~repro.net.transport.Transport`
+  (:meth:`Transport.set_perturbations`), which loses negotiate/reply round
+  trips with the window's probability (the origin observes a timeout) and
+  delays or destroys job-submission transfers; the injector only *attributes*
+  the damage (timeout counters, lazy dead-peer discovery, lost-job
+  accounting).
 
 All stochastic choices draw from the dedicated ``"faults/network"`` stream of
 the federation's :class:`~repro.sim.rng.RandomStreams`, so a ``(seed, plan)``
@@ -116,6 +120,10 @@ class FaultInjector:
         self.directory = federation.directory
         self.gfas: Dict[str, "GridFederationAgent"] = federation.gfas
         self.rng = federation.streams.get("faults/network")
+        # The plan's degraded-network windows become transport-level
+        # perturbations, evaluated where the messages actually flow.
+        self.transport = federation.transport
+        self.transport.set_perturbations(plan.network, self.rng)
         #: Optional runtime validator, called after every applied fault event.
         self.validator: Optional["RuntimeValidator"] = None
 
@@ -274,47 +282,25 @@ class FaultInjector:
     # ------------------------------------------------------------------ #
     # GFA-facing fault model
     # ------------------------------------------------------------------ #
-    def enquiry_delivered(
+    def note_negotiation_timeout(
         self, origin: "GridFederationAgent", remote: "GridFederationAgent", job: Job
-    ) -> bool:
-        """Whether one negotiate/reply round trip completes.
+    ) -> None:
+        """Attribute one failed negotiate/reply round trip.
 
-        A dead peer never answers; its stale quote is invalidated in the
-        directory on first discovery, so resumable query sessions (which
-        restart on the membership-version bump) move on to the next live
-        candidate.  During a lossy network window the round trip is lost with
-        the window's probability.
+        The loss itself happened on the transport (dead peer, lossy fault
+        window, or lossy link); this hook only does the fault bookkeeping.  A
+        dead peer's stale quote is invalidated in the directory on first
+        discovery, so resumable query sessions (which restart on the
+        membership-version bump) move on to the next live candidate.
         """
+        self.negotiation_timeouts += 1
         if not remote.alive:
-            self.negotiation_timeouts += 1
-            self.federation.message_log.record_timeout(origin.name, remote.name, job)
             self._discover_dead(remote.name)
-            return False
-        window = self.plan.perturbation_at(self.sim.now)
-        if window is not None and window.loss_rate > 0.0:
-            if self.rng.random() < window.loss_rate:
-                self.negotiation_timeouts += 1
-                self.federation.message_log.record_timeout(origin.name, remote.name, job)
-                return False
-        return True
 
-    def submission_fate(
-        self, origin: "GridFederationAgent", remote: "GridFederationAgent", job: Job
-    ) -> Tuple[str, float]:
-        """Fate of a job-submission transfer: ``(outcome, delay)``.
-
-        ``outcome`` is ``"deliver"`` or ``"lost"``; ``delay`` is the transfer
-        delay in seconds when delivered (0 = synchronous, the fault-free
-        behaviour).
-        """
-        window = self.plan.perturbation_at(self.sim.now)
-        if window is None:
-            return ("deliver", 0.0)
-        if window.loss_rate > 0.0 and self.rng.random() < window.loss_rate:
-            self.transit_losses += 1
-            self.federation.message_log.record_transit_loss(origin.name, remote.name, job)
-            return ("lost", 0.0)
-        return ("deliver", window.submission_delay)
+    def note_transit_loss(self, job: Job) -> None:
+        """Attribute one job transfer destroyed by a lossy fault window."""
+        self.transit_losses += 1
+        self.note_job_lost(job)
 
     def note_job_lost(self, job: Job) -> None:
         """Account one workload job attributably lost to a fault."""

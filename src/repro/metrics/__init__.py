@@ -12,6 +12,7 @@ from repro.metrics.collectors import (
     ResourceRow,
     incentive_by_resource,
     message_summary,
+    network_summary,
     per_gfa_message_stats,
     per_job_message_stats,
     remote_jobs_serviced,
@@ -26,6 +27,7 @@ __all__ = [
     "ResourceRow",
     "incentive_by_resource",
     "message_summary",
+    "network_summary",
     "per_gfa_message_stats",
     "per_job_message_stats",
     "remote_jobs_serviced",

@@ -204,6 +204,31 @@ def per_gfa_message_stats(result: FederationResult) -> MessageStats:
     return _distribution(values)
 
 
+def network_summary(result: FederationResult) -> Dict[str, object]:
+    """Transport-level traffic accounting of one run.
+
+    The counts here are *derived* from the traffic that actually crossed the
+    message fabric (the MessageLog observes the same transport, so the
+    data-plane totals reconcile with the Fig. 9–11 collectors above); the
+    control-plane entries expose the directory traffic — per shard under a
+    sharded directory — that the paper's accounting deliberately excludes.
+    """
+    net = result.network
+    if net is None:
+        return {}
+    return {
+        "messages": net.messages,
+        "volume_mb": net.volume_mb,
+        "latency_s": net.latency_s,
+        "timeouts": net.timeouts,
+        "link_losses": net.link_losses,
+        "transit_losses": net.transit_losses,
+        "delayed_deliveries": net.delayed_deliveries,
+        "directory_messages": net.control_messages,
+        "directory_by_node": dict(net.control_by_node),
+    }
+
+
 # --------------------------------------------------------------------------- #
 # Fault and SLA metrics (populated when a fault plan was active)
 # --------------------------------------------------------------------------- #

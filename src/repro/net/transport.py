@@ -1,0 +1,305 @@
+"""The transport: every cross-entity message of a federation flows through here.
+
+One :class:`Transport` per federation routes
+
+* GFA↔GFA **negotiation round trips** (:meth:`Transport.roundtrip`) — the
+  NEGOTIATE is always accounted; the REPLY only when the round trip survives
+  the responder's liveness, the fault plan's perturbation windows and the
+  link's datagram loss;
+* GFA↔GFA **job migration** (:meth:`Transport.transfer`) — a reliable bulk
+  transfer that can be delayed by link latency / bandwidth and by slow-network
+  windows, or lost outright by a lossy fault window (attributed through the
+  injector);
+* GFA↔GFA **completion notifications** (:meth:`Transport.notify`) — one-way,
+  always delivered;
+* GFA↔directory **control traffic** (:meth:`Transport.control`) — subscribe /
+  quote / query messages, counted per directory node so scatter-gather over a
+  sharded directory is honestly accounted.
+
+Observers (duck-typed on :class:`~repro.core.messages.MessageLog`'s
+``record`` / ``record_timeout`` / ``record_transit_loss`` methods) see every
+data-plane message, which is how Experiment 4/5 message counts are *derived*
+from actual traffic instead of being instrumented at call sites.
+
+Determinism: the default ``uniform`` topology with no fault plan draws no
+random numbers and delivers everything inline, so the default path stays
+byte-identical to the pre-transport code.  Fault-window draws come from the
+injector's ``"faults/network"`` stream (the legacy draw order is preserved);
+link-loss draws come from the federation's ``"net/latency"`` stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.messages import MessageType
+from repro.net.topology import Topology, UniformTopology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import NetworkPerturbation
+    from repro.sim.engine import Simulator
+    from repro.workload.job import Job
+
+__all__ = ["Transport", "TransportStats", "CONTROL_MESSAGE_MB", "JOB_PAYLOAD_MB"]
+
+#: Nominal size of a control message (negotiate / reply / completion receipt).
+CONTROL_MESSAGE_MB = 0.002
+#: Nominal size of a migrated job's input sandbox.
+JOB_PAYLOAD_MB = 8.0
+
+
+@dataclass
+class TransportStats:
+    """Traffic measured by one transport over one run.
+
+    Carried on :attr:`repro.core.federation.FederationResult.network`; the
+    per-job counters are the transport-derived Experiment 4 accounting, which
+    must (and, by test, does) agree with the legacy
+    :class:`~repro.core.messages.MessageLog` tallies on the default path.
+    """
+
+    #: Data-plane messages carried (mirrors ``MessageLog.total_messages``).
+    messages: int = 0
+    #: Per :class:`MessageType` value counts.
+    by_type: Dict[str, int] = field(default_factory=dict)
+    #: Job id -> data-plane messages carried while scheduling it.
+    per_job: Dict[int, int] = field(default_factory=dict)
+    #: Megabytes pushed over data-plane links.
+    volume_mb: float = 0.0
+    #: One-way link latency accumulated by delivered data-plane messages.
+    latency_s: float = 0.0
+    #: Round trips that never completed (dead peer, window loss, link loss).
+    timeouts: int = 0
+    #: Round trips lost to *topology* datagram loss specifically.
+    link_losses: int = 0
+    #: Job transfers destroyed by a lossy fault window.
+    transit_losses: int = 0
+    #: Transfers that arrived later than they were sent (latency or windows).
+    delayed_deliveries: int = 0
+    #: Control-plane (directory) messages, total and per kind / node.
+    control_messages: int = 0
+    control_by_kind: Dict[str, int] = field(default_factory=dict)
+    control_by_node: Dict[str, int] = field(default_factory=dict)
+
+    def messages_for_job(self, job_id: int) -> int:
+        """Data-plane messages carried for one job (0 if it never migrated)."""
+        return self.per_job.get(job_id, 0)
+
+    def per_job_counts(self) -> Dict[int, int]:
+        """Copy of the job id -> message count mapping."""
+        return dict(self.per_job)
+
+
+class Transport:
+    """Routes, perturbs and accounts every cross-entity message.
+
+    Parameters
+    ----------
+    sim:
+        The federation's simulator (used to schedule delayed deliveries and
+        to timestamp observer records).
+    topology:
+        The link model; defaults to the free :class:`UniformTopology`.
+    rng:
+        Generator for *link-level* datagram loss draws (the federation passes
+        its ``"net/latency"`` stream).  Never touched by loss-free topologies.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        topology: Optional[Topology] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.sim = sim
+        self.topology = topology if topology is not None else UniformTopology()
+        self._rng = rng
+        self.stats = TransportStats()
+        self._observers: List[object] = []
+        # Hot-path dispatch tables: observer hooks are resolved once at
+        # add_observer time, so recording a message costs one list walk of
+        # bound methods instead of per-message getattr lookups.
+        self._record_hooks: List[object] = []
+        self._timeout_hooks: List[object] = []
+        self._transit_loss_hooks: List[object] = []
+        #: Fault-plan perturbation windows (installed by the fault injector).
+        self._windows: Sequence["NetworkPerturbation"] = ()
+        self._fault_rng: Optional[np.random.Generator] = None
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+    def add_observer(self, observer: object) -> None:
+        """Attach a message observer (``record`` / ``record_timeout`` /
+        ``record_transit_loss``, all optional — missing hooks are skipped)."""
+        self._observers.append(observer)
+        for attr, hooks in (
+            ("record", self._record_hooks),
+            ("record_timeout", self._timeout_hooks),
+            ("record_transit_loss", self._transit_loss_hooks),
+        ):
+            hook = getattr(observer, attr, None)
+            if hook is not None:
+                hooks.append(hook)
+
+    def set_perturbations(
+        self, windows: Sequence["NetworkPerturbation"], rng: np.random.Generator
+    ) -> None:
+        """Install a fault plan's degraded-network windows.
+
+        Called by :class:`~repro.faults.injector.FaultInjector`; ``rng`` is
+        the plan's dedicated ``"faults/network"`` stream, so window draws are
+        identical to the pre-transport per-call hooks.
+        """
+        self._windows = tuple(windows)
+        self._fault_rng = rng
+
+    # ------------------------------------------------------------------ #
+    # Data plane
+    # ------------------------------------------------------------------ #
+    def roundtrip(
+        self,
+        src: str,
+        dst: str,
+        job: "Job",
+        request: MessageType = MessageType.NEGOTIATE,
+        reply: MessageType = MessageType.REPLY,
+        responder_alive: bool = True,
+        size_mb: float = CONTROL_MESSAGE_MB,
+    ) -> bool:
+        """One request/reply exchange; ``True`` iff the round trip completes.
+
+        The request is always recorded (it was sent).  The reply is recorded
+        only when it arrives: a dead responder never answers, an active lossy
+        fault window loses the round trip with its probability, and a lossy
+        link (WAN topologies) drops the datagram with the link's rate.
+        Latency is charged to the accounting, not to the simulation clock —
+        the paper models negotiation as instantaneous in simulated time.
+        """
+        link = self.topology.link(src, dst)
+        self._record(request, src, dst, job, size_mb, link.latency_s)
+        if not responder_alive:
+            self._timeout(src, dst, job)
+            return False
+        window = self._window_at(self.sim.now)
+        if window is not None and window.loss_rate > 0.0:
+            if self._fault_rng.random() < window.loss_rate:
+                self._timeout(src, dst, job)
+                return False
+        if link.loss_rate > 0.0 and self._draw() < link.loss_rate:
+            self.stats.link_losses += 1
+            self._timeout(src, dst, job)
+            return False
+        self._record(reply, dst, src, job, size_mb, link.latency_s)
+        return True
+
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        job: "Job",
+        size_mb: float = JOB_PAYLOAD_MB,
+    ) -> Tuple[str, float]:
+        """Ship a job's payload; returns ``(fate, delay_seconds)``.
+
+        ``fate`` is ``"deliver"`` or ``"lost"``.  Transfers are reliable
+        streams over the topology — link loss only costs retransmissions,
+        never the job — so the only way to lose one is an active lossy fault
+        window (in which case the caller attributes the job through the
+        injector).  Delivered transfers are delayed by the window's
+        ``submission_delay`` plus the link's latency and serialisation time;
+        a zero delay (the default path) means the caller delivers inline,
+        exactly like the pre-transport synchronous hand-off.
+        """
+        link = self.topology.link(src, dst)
+        self._record(MessageType.JOB_SUBMISSION, src, dst, job, size_mb, link.latency_s)
+        delay = 0.0
+        window = self._window_at(self.sim.now)
+        if window is not None:
+            if window.loss_rate > 0.0 and self._fault_rng.random() < window.loss_rate:
+                self.stats.transit_losses += 1
+                for hook in self._transit_loss_hooks:
+                    hook(src, dst, job)
+                return ("lost", 0.0)
+            delay += window.submission_delay
+        delay += link.transfer_seconds(size_mb)
+        if delay > 0.0:
+            self.stats.delayed_deliveries += 1
+        return ("deliver", delay)
+
+    def notify(
+        self,
+        src: str,
+        dst: str,
+        mtype: MessageType,
+        job: "Job",
+        size_mb: float = CONTROL_MESSAGE_MB,
+    ) -> None:
+        """A one-way, reliable notification (job-completion receipts)."""
+        link = self.topology.link(src, dst)
+        self._record(mtype, src, dst, job, size_mb, link.latency_s)
+
+    # ------------------------------------------------------------------ #
+    # Control plane (directory traffic)
+    # ------------------------------------------------------------------ #
+    def control(self, node: str, kind: str, messages: int = 1) -> None:
+        """Account ``messages`` control-plane messages against a directory node.
+
+        Control traffic is deliberately kept out of the observers: the paper
+        excludes directory messages from its Experiment 4/5 counts, so they
+        live in :class:`TransportStats` only — per node, which is what makes
+        scatter-gather fan-out over a sharded directory visible.
+        """
+        stats = self.stats
+        stats.control_messages += messages
+        stats.control_by_kind[kind] = stats.control_by_kind.get(kind, 0) + messages
+        stats.control_by_node[node] = stats.control_by_node.get(node, 0) + messages
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _window_at(self, now: float) -> Optional["NetworkPerturbation"]:
+        for window in self._windows:
+            if window.active_at(now):
+                return window
+        return None
+
+    def _draw(self) -> float:
+        if self._rng is None:  # pragma: no cover - defensive: lossy topology, no rng
+            raise RuntimeError("transport has a lossy topology but no rng")
+        return self._rng.random()
+
+    def _record(
+        self,
+        mtype: MessageType,
+        sender: str,
+        receiver: str,
+        job: "Job",
+        size_mb: float,
+        latency_s: float,
+    ) -> None:
+        stats = self.stats
+        stats.messages += 1
+        key = mtype.value
+        stats.by_type[key] = stats.by_type.get(key, 0) + 1
+        job_id = job.job_id
+        stats.per_job[job_id] = stats.per_job.get(job_id, 0) + 1
+        stats.volume_mb += size_mb
+        stats.latency_s += latency_s
+        now = self.sim.now
+        for hook in self._record_hooks:
+            hook(mtype, sender, receiver, job, time=now)
+
+    def _timeout(self, src: str, dst: str, job: "Job") -> None:
+        self.stats.timeouts += 1
+        for hook in self._timeout_hooks:
+            hook(src, dst, job)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"Transport({self.topology.describe()}, messages={self.stats.messages}, "
+            f"timeouts={self.stats.timeouts})"
+        )

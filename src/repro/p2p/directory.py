@@ -264,6 +264,20 @@ class FederationDirectory:
         #: update_quote.  Stamps the ranking cache and open query sessions.
         self._version: int = 0
         self._ranking_cache: Dict[Tuple[RankCriterion, int], Tuple[int, List[DirectoryQuote]]] = {}
+        # Control-plane accounting: when a transport is attached (the
+        # federation does it), every subscribe / quote / query RPC is counted
+        # against this directory node in the transport's stats.
+        self._transport = None
+        self._node = "directory"
+
+    def attach_transport(self, transport, node: str = "directory") -> None:
+        """Route this directory's control-traffic accounting through ``transport``."""
+        self._transport = transport
+        self._node = node
+
+    def _control(self, kind: str) -> None:
+        if self._transport is not None:
+            self._transport.control(self._node, kind)
 
     # ------------------------------------------------------------------ #
     # Publication interface (subscribe / quote / unsubscribe)
@@ -277,6 +291,7 @@ class FederationDirectory:
         self._by_price.insert((spec.price, gfa_name), quote)
         self._by_speed.insert((-spec.mips, gfa_name), quote)
         self._version += 1
+        self._control("subscribe")
         return quote
 
     def update_quote(self, gfa_name: str, spec: ResourceSpec) -> DirectoryQuote:
@@ -284,11 +299,19 @@ class FederationDirectory:
 
         Re-publishing is *not* a membership change: the GFA's latest load
         report survives the update, so the coordination extension keeps its
-        pruning information when dynamic pricing re-quotes a resource.
+        pruning information when dynamic pricing re-quotes a resource.  On
+        the control plane it is also *one* message — a quote update — not the
+        unsubscribe/subscribe pair it decomposes into internally.
         """
         load_report = self._load_reports.get(gfa_name)
-        self.unsubscribe(gfa_name)
-        quote = self.subscribe(gfa_name, spec)
+        transport = self._transport
+        self._transport = None  # suppress the inner pair's accounting
+        try:
+            self.unsubscribe(gfa_name)
+            quote = self.subscribe(gfa_name, spec)
+        finally:
+            self._transport = transport
+        self._control("update-quote")
         if load_report is not None:
             self._load_reports[gfa_name] = load_report
         return quote
@@ -302,6 +325,7 @@ class FederationDirectory:
         self._by_speed.remove((-quote.spec.mips, gfa_name))
         self._load_reports.pop(gfa_name, None)
         self._version += 1
+        self._control("unsubscribe")
 
     def report_load(self, gfa_name: str, expected_wait: float) -> None:
         """Publish a load report (expected queue wait in seconds) for a GFA."""
@@ -311,6 +335,7 @@ class FederationDirectory:
             raise ValueError("expected wait must be non-negative")
         self._load_reports[gfa_name] = expected_wait
         self.load_updates += 1
+        self._control("load-report")
 
     # ------------------------------------------------------------------ #
     # Query interface
@@ -326,6 +351,7 @@ class FederationDirectory:
     def _account_query(self) -> None:
         self._stats.queries += 1
         self._stats.assumed_messages += theoretical_query_messages(max(len(self._quotes), 1))
+        self._control("query")
 
     def __len__(self) -> int:
         return len(self._quotes)

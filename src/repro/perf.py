@@ -21,9 +21,11 @@ of the scheduling hot path are timed:
   ratio is the end-to-end speedup.
 
 :func:`run_benchmarks` executes everything at a named scale and returns a JSON-
-serialisable report; :func:`write_report` emits ``BENCH_perf.json``;
-:func:`compare_to_baseline` implements the CI regression gate (fail when any
-tracked timing exceeds the checked-in baseline by more than a factor).
+serialisable report; :func:`write_report` emits ``benchmarks/BENCH_perf.json``
+(git-ignored); :func:`compare_to_baseline` implements the CI regression gate
+(fail when any tracked timing exceeds the checked-in baseline by more than a
+factor) and :func:`render_comparison` prints it as a per-benchmark ratio
+table (``gridfed bench --compare``).
 """
 
 from __future__ import annotations
@@ -52,11 +54,17 @@ __all__ = [
     "run_benchmarks",
     "write_report",
     "compare_to_baseline",
+    "render_comparison",
     "render_report",
 ]
 
 #: Schema tag written into every report (bump on incompatible layout changes).
 REPORT_SCHEMA = "gridfed-bench/1"
+
+#: Baselines under this many seconds are scheduler noise on shared CI runners:
+#: excluded from the wall-clock regression gate and labelled "noise" in the
+#: --compare table (one constant so the verdict and the table never drift).
+NOISE_FLOOR_S = 1e-2
 
 
 @dataclass(frozen=True)
@@ -343,9 +351,17 @@ def run_benchmarks(
     }
 
 
-def write_report(report: Dict[str, object], path: Union[str, Path] = "BENCH_perf.json") -> Path:
-    """Write a benchmark report to disk and return its path."""
+def write_report(
+    report: Dict[str, object], path: Union[str, Path] = "benchmarks/BENCH_perf.json"
+) -> Path:
+    """Write a benchmark report to disk and return its path.
+
+    The default lands next to the checked-in baseline under ``benchmarks/``
+    (and is git-ignored there) rather than polluting the repository root.
+    """
     path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return path
 
@@ -410,7 +426,7 @@ def compare_to_baseline(
     compared = 0
     for key, value in current.items():
         base = previous.get(key)
-        if base is None or base < 1e-2:
+        if base is None or base < NOISE_FLOOR_S:
             continue
         compared += 1
         if value > base * max_regression:
@@ -424,6 +440,54 @@ def compare_to_baseline(
             f"{baseline.get('scale')!r}) — regenerate the baseline at the same scale"
         )
     return problems
+
+
+def render_comparison(
+    report: Dict[str, object],
+    baseline: Dict[str, object],
+    max_regression: float = 3.0,
+) -> Tuple[str, List[str]]:
+    """Per-benchmark ratio table against a baseline, plus the gate verdict.
+
+    Returns ``(table_text, problems)`` where ``problems`` is exactly what
+    :func:`compare_to_baseline` reports (empty = gate passed).  Every tracked
+    timing gets one row: baseline seconds, current seconds, the current/
+    baseline ratio and a status — ``ok`` (within the gate), ``FAIL`` (beyond
+    it), ``noise`` (baseline under the 10 ms floor, not gated) or ``new``
+    (absent from the baseline).  This is what ``gridfed bench --compare``
+    prints, so a red CI run shows the whole picture instead of one assert.
+    """
+    from repro.metrics.report import render_table
+
+    current = _tracked_timings(report)
+    previous = _tracked_timings(baseline)
+    rows: List[List[object]] = []
+    for key in sorted(current):
+        value = current[key]
+        base = previous.get(key)
+        if base is None:
+            rows.append([key, "-", f"{value:.4f}", "-", "new"])
+            continue
+        ratio = value / max(base, 1e-12)
+        if base < NOISE_FLOOR_S:
+            status = "noise"
+        elif ratio > max_regression:
+            status = "FAIL"
+        else:
+            status = "ok"
+        rows.append([key, f"{base:.4f}", f"{value:.4f}", f"{ratio:.2f}x", status])
+    for key in sorted(set(previous) - set(current)):
+        rows.append([key, f"{previous[key]:.4f}", "-", "-", "absent"])
+    problems = compare_to_baseline(report, baseline, max_regression=max_regression)
+    table = render_table(
+        ["Benchmark", "Baseline s", "Current s", "Ratio", "Status"],
+        rows,
+        title=(
+            f"Benchmark comparison — gate {max_regression:.1f}x "
+            f"({'FAIL' if problems else 'pass'})"
+        ),
+    )
+    return table, problems
 
 
 def render_report(report: Dict[str, object]) -> str:

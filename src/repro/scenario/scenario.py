@@ -27,6 +27,7 @@ from typing import Optional
 from repro.cluster.lrms import SchedulingPolicy
 from repro.core.federation import FederationConfig
 from repro.core.policies import SharingMode
+from repro.net.topology import TOPOLOGY_REGISTRY, available_topologies, canonical_topology
 from repro.scenario.registry import (
     AGENT_REGISTRY,
     FAULT_REGISTRY,
@@ -84,6 +85,16 @@ class Scenario:
         anything registered via ``@register_fault``).  The resolved
         :class:`~repro.faults.plan.FaultPlan` is seeded from this scenario's
         ``seed``, so a ``(seed, faults)`` pair reproduces exactly.
+    transport:
+        Key into the topology registry of the message fabric (``"uniform"``,
+        ``"star"``, ``"ring"``, ``"two-tier-wan"``, or anything registered
+        via :func:`repro.net.register_topology`).  ``"uniform"`` — the
+        default — is the paper's zero-latency network and keeps runs
+        byte-identical to the pre-transport code.
+    directory_shards:
+        Number of directory peers the federation's quotes are partitioned
+        across by consistent key hashing (1 = the single shared directory;
+        rank queries over more shards run scatter-gather merge sessions).
     """
 
     mode: SharingMode = SharingMode.ECONOMY
@@ -100,6 +111,8 @@ class Scenario:
     thin: int = 1
     repricing_interval: float = 4 * 3600.0
     faults: str = "none"
+    transport: str = "uniform"
+    directory_shards: int = 1
     keep_message_records: bool = False
 
     # ------------------------------------------------------------------ #
@@ -130,6 +143,18 @@ class Scenario:
             raise ValueError(
                 f"repricing_interval must be positive, got {self.repricing_interval}"
             )
+        if self.directory_shards < 1:
+            raise ValueError(
+                f"directory_shards must be at least 1, got {self.directory_shards}"
+            )
+        if self.transport not in TOPOLOGY_REGISTRY:
+            raise ValueError(
+                f"unknown transport topology {self.transport!r}; registered: "
+                f"{', '.join(available_topologies())}"
+            )
+        # Aliases normalise to their canonical key so "wan" and
+        # "two-tier-wan" hash (and memoise, and describe) identically.
+        object.__setattr__(self, "transport", canonical_topology(self.transport))
         for registry, key in (
             (AGENT_REGISTRY, self.agent),
             (PRICING_REGISTRY, self.pricing),
@@ -158,6 +183,8 @@ class Scenario:
             horizon=self.horizon,
             seed=self.seed,
             keep_message_records=self.keep_message_records,
+            transport=self.transport,
+            directory_shards=self.directory_shards,
         )
 
     def replace(self, **changes) -> "Scenario":
@@ -190,6 +217,10 @@ class Scenario:
         )
         if self.faults != "none":
             summary += f" faults={self.faults}"
+        if self.transport != "uniform":
+            summary += f" transport={self.transport}"
+        if self.directory_shards != 1:
+            summary += f" shards={self.directory_shards}"
         return summary
 
 
@@ -209,6 +240,8 @@ def scenario_from_config(config: FederationConfig, **overrides) -> Scenario:
         horizon=config.horizon,
         seed=config.seed,
         keep_message_records=config.keep_message_records,
+        transport=config.transport,
+        directory_shards=config.directory_shards,
     )
     base.update(overrides)
     return Scenario(**base)

@@ -83,10 +83,15 @@ class Entity:
         """Send an event to another entity after ``delay`` time units.
 
         Returns the :class:`Event` so that callers can log or inspect it.
+        Delivery order is fully deterministic: events scheduled for the same
+        timestamp and priority arrive in send order (the simulator's sequence
+        number, mirrored on :attr:`Event.seq`, is the explicit tie-break), so
+        transport-level reordering can never depend on heap internals.
         """
         event = Event(etype=etype, source=self.name, target=target, payload=payload)
         receiver = self.registry.lookup(target)
-        self.sim.schedule(delay, self._deliver, receiver, event, priority=priority)
+        handle = self.sim.schedule(delay, self._deliver, receiver, event, priority=priority)
+        event.seq = handle.seq
         return event
 
     def schedule(
@@ -98,7 +103,9 @@ class Entity:
     ) -> ScheduledEvent:
         """Schedule an event to self (an internal timer)."""
         event = Event(etype=etype, source=self.name, target=self.name, payload=payload)
-        return self.sim.schedule(delay, self._deliver, self, event, priority=priority)
+        handle = self.sim.schedule(delay, self._deliver, self, event, priority=priority)
+        event.seq = handle.seq
+        return handle
 
     def _deliver(self, receiver: "Entity", event: Event) -> None:
         event.time = self.sim.now

@@ -69,6 +69,13 @@ class Event:
         delivering entity).
     event_id:
         Unique, monotonically increasing identifier (useful in logs).
+    seq:
+        The simulator sequence number of the scheduled delivery (stamped by
+        :meth:`repro.sim.entity.Entity.send` / ``schedule``).  Events sharing
+        a timestamp and priority are delivered in strictly increasing ``seq``
+        order — the explicit tie-break that makes message delivery immune to
+        heap insertion accidents; ``None`` for events never routed through a
+        simulator.
     """
 
     etype: EventType
@@ -77,6 +84,7 @@ class Event:
     payload: Any = None
     time: float = 0.0
     event_id: int = field(default_factory=lambda: next(_event_ids))
+    seq: Optional[int] = None
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return (

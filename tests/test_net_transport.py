@@ -1,0 +1,281 @@
+"""Unit tests for the message fabric: topologies and the transport.
+
+End-to-end behaviour (golden fingerprints, WAN runs, Experiment 4 parity)
+lives in ``tests/test_net_federation.py``; this module covers the pieces in
+isolation: the topology registry and link models, round-trip / transfer /
+notify semantics, perturbation windows, and the observer contract against
+the real :class:`~repro.core.messages.MessageLog`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.messages import MessageLog, MessageType
+from repro.faults.plan import NetworkPerturbation
+from repro.net import (
+    LinkProfile,
+    RingTopology,
+    StarTopology,
+    Transport,
+    TwoTierWanTopology,
+    UniformTopology,
+    available_topologies,
+    build_topology,
+    register_topology,
+)
+from repro.sim.engine import Simulator
+from repro.workload.job import Job
+
+
+def make_job(origin="A", procs=2):
+    return Job(origin=origin, user_id=1, submit_time=0.0, num_processors=procs, length_mi=1e4)
+
+
+NAMES = [f"GFA-{i}" for i in range(8)]
+
+
+class TestLinkProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkProfile(latency_s=-1.0)
+        with pytest.raises(ValueError):
+            LinkProfile(bandwidth_gbps=0.0)
+        with pytest.raises(ValueError):
+            LinkProfile(loss_rate=1.0)
+
+    def test_transfer_seconds_infinite_bandwidth_is_pure_latency(self):
+        assert LinkProfile(latency_s=0.5).transfer_seconds(1e6) == 0.5
+
+    def test_transfer_seconds_serialisation(self):
+        # 1 Gb/s link, 125 MB payload = 1000 Mb -> 1 s + latency.
+        link = LinkProfile(latency_s=0.25, bandwidth_gbps=1.0)
+        assert link.transfer_seconds(125.0) == pytest.approx(1.25)
+
+
+class TestTopologyRegistry:
+    def test_builtins_are_registered(self):
+        names = available_topologies()
+        for key in ("uniform", "star", "ring", "two-tier-wan", "wan", "none"):
+            assert key in names
+
+    def test_unknown_key_raises_with_known_list(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            build_topology("nope", NAMES)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_topology("uniform")(lambda names, rng: UniformTopology())
+
+    def test_failed_registration_is_atomic(self):
+        """A duplicate anywhere in (key, *aliases) must install nothing —
+        a half-registered topology would validate but be unintended."""
+        from repro.net.topology import TOPOLOGY_REGISTRY
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_topology("fresh-name", "uniform")(
+                lambda names, rng: UniformTopology()
+            )
+        assert "fresh-name" not in TOPOLOGY_REGISTRY
+
+    def test_canonical_resolution_of_aliases(self):
+        from repro.net import canonical_topology
+
+        assert canonical_topology("wan") == "two-tier-wan"
+        assert canonical_topology("none") == "uniform"
+        assert canonical_topology("ring") == "ring"
+        with pytest.raises(ValueError, match="unknown topology"):
+            canonical_topology("nope")
+
+    def test_build_stamps_registry_key_as_name(self):
+        topology = build_topology("star", NAMES)
+        assert topology.name == "star"
+        assert "star" in topology.describe()
+
+
+class TestTopologyModels:
+    def test_uniform_is_free_and_symmetric(self):
+        topology = UniformTopology()
+        link = topology.link("A", "B")
+        assert link.latency_s == 0.0 and link.loss_rate == 0.0
+        assert math.isinf(link.bandwidth_gbps)
+        assert topology.link("B", "A") == link
+        assert topology.link("A", "A").latency_s == 0.0
+
+    def test_star_charges_two_hub_hops(self):
+        topology = StarTopology(hop_latency_s=0.01)
+        assert topology.link("A", "B").latency_s == pytest.approx(0.02)
+
+    def test_ring_distance_is_shortest_way_round(self):
+        topology = RingTopology(NAMES, hop_latency_s=1.0)
+        assert topology.hops_between("GFA-0", "GFA-1") == 1
+        assert topology.hops_between("GFA-0", "GFA-4") == 4
+        assert topology.hops_between("GFA-0", "GFA-7") == 1  # wraps
+        assert topology.link("GFA-0", "GFA-4").latency_s == pytest.approx(4.0)
+        assert topology.link("GFA-4", "GFA-0").latency_s == pytest.approx(4.0)
+
+    def test_wan_is_deterministic_per_seed(self):
+        a = TwoTierWanTopology(NAMES, rng=np.random.default_rng(7), sites=4)
+        b = TwoTierWanTopology(NAMES, rng=np.random.default_rng(7), sites=4)
+        for src in NAMES:
+            for dst in NAMES:
+                assert a.link(src, dst) == b.link(src, dst)
+
+    def test_wan_intra_site_is_faster_than_wan(self):
+        topology = TwoTierWanTopology(NAMES, rng=np.random.default_rng(0), sites=4)
+        # Round-robin site assignment: GFA-0 and GFA-4 share site 0.
+        lan = topology.link("GFA-0", "GFA-4")
+        wan = topology.link("GFA-0", "GFA-1")
+        assert lan.latency_s < wan.latency_s
+        assert lan.loss_rate == 0.0
+
+    def test_wan_link_is_direction_symmetric(self):
+        topology = TwoTierWanTopology(NAMES, rng=np.random.default_rng(0), sites=4)
+        assert topology.link("GFA-0", "GFA-1") == topology.link("GFA-1", "GFA-0")
+
+
+class TestRoundtrip:
+    def _transport(self, topology=None, rng=None):
+        sim = Simulator()
+        log = MessageLog(keep_records=True)
+        transport = Transport(sim, topology, rng=rng)
+        transport.add_observer(log)
+        return sim, log, transport
+
+    def test_default_roundtrip_records_request_and_reply(self):
+        _sim, log, transport = self._transport()
+        job = make_job()
+        assert transport.roundtrip("A", "B", job) is True
+        assert [m.mtype for m in log.records()] == [MessageType.NEGOTIATE, MessageType.REPLY]
+        assert log.messages_for_job(job.job_id) == 2
+        assert transport.stats.messages == 2
+        assert transport.stats.per_job[job.job_id] == 2
+        assert transport.stats.timeouts == 0
+
+    def test_dead_responder_times_out_without_a_reply(self):
+        _sim, log, transport = self._transport()
+        job = make_job()
+        assert transport.roundtrip("A", "B", job, responder_alive=False) is False
+        assert [m.mtype for m in log.records()] == [MessageType.NEGOTIATE]
+        assert log.negotiation_timeouts == 1
+        assert transport.stats.timeouts == 1
+
+    def test_lossy_link_can_drop_the_roundtrip(self):
+        topology = UniformTopology(loss_rate=0.5)
+        _sim, log, transport = self._transport(topology, rng=np.random.default_rng(0))
+        outcomes = [transport.roundtrip("A", "B", make_job()) for _ in range(200)]
+        assert any(outcomes) and not all(outcomes)
+        lost = outcomes.count(False)
+        assert transport.stats.link_losses == lost
+        assert transport.stats.timeouts == lost
+        assert log.negotiation_timeouts == lost
+
+    def test_uniform_default_never_touches_the_rng(self):
+        class Exploding:
+            def random(self):  # pragma: no cover - must not run
+                raise AssertionError("default path drew from the rng")
+
+        sim = Simulator()
+        transport = Transport(sim, UniformTopology(), rng=Exploding())
+        assert transport.roundtrip("A", "B", make_job()) is True
+        assert transport.transfer("A", "B", make_job()) == ("deliver", 0.0)
+
+
+class TestPerturbationWindows:
+    def _transport(self, windows, seed=0):
+        sim = Simulator()
+        log = MessageLog()
+        transport = Transport(sim, UniformTopology())
+        transport.add_observer(log)
+        transport.set_perturbations(windows, np.random.default_rng(seed))
+        return sim, log, transport
+
+    def test_loss_only_inside_the_window(self):
+        window = NetworkPerturbation(start=100.0, end=200.0, loss_rate=0.999999)
+        sim, _log, transport = self._transport([window])
+        # Before the window: everything completes.
+        for _ in range(20):
+            assert transport.roundtrip("A", "B", make_job()) is True
+        assert transport.stats.timeouts == 0
+        # Inside: the (near-certain) loss rate applies.
+        sim.schedule(150.0, lambda: None)
+        sim.run()
+        assert sim.now == 150.0
+        assert transport.roundtrip("A", "B", make_job()) is False
+        # After the window: clean again.
+        sim.schedule(100.0, lambda: None)
+        sim.run()
+        assert transport.roundtrip("A", "B", make_job()) is True
+
+    def test_delay_only_inside_the_window(self):
+        window = NetworkPerturbation(start=100.0, end=200.0, submission_delay=30.0)
+        sim, _log, transport = self._transport([window])
+        assert transport.transfer("A", "B", make_job()) == ("deliver", 0.0)
+        sim.schedule(150.0, lambda: None)
+        sim.run()
+        fate, delay = transport.transfer("A", "B", make_job())
+        assert fate == "deliver" and delay == pytest.approx(30.0)
+        assert transport.stats.delayed_deliveries == 1
+        sim.schedule(100.0, lambda: None)
+        sim.run()
+        assert transport.transfer("A", "B", make_job()) == ("deliver", 0.0)
+
+    def test_lossy_window_destroys_transfers_and_notifies_observers(self):
+        window = NetworkPerturbation(start=0.0, end=1e9, loss_rate=0.999999)
+        _sim, log, transport = self._transport([window])
+        job = make_job()
+        fate, _delay = transport.transfer("A", "B", job)
+        assert fate == "lost"
+        assert transport.stats.transit_losses == 1
+        assert log.transit_losses == 1
+        # The JOB_SUBMISSION itself was still accounted: it was sent.
+        assert log.total_messages == 1
+
+
+class TestTransferReliability:
+    def test_link_loss_never_destroys_a_transfer(self):
+        """Bulk transfers are reliable streams: a lossy link delays (via
+        retransmission in the real world), it never silently eats a job —
+        that is reserved for lossy *fault windows*, which are attributed."""
+        topology = UniformTopology(loss_rate=0.9)
+        sim = Simulator()
+        transport = Transport(sim, topology, rng=np.random.default_rng(0))
+        for _ in range(100):
+            fate, _delay = transport.transfer("A", "B", make_job())
+            assert fate == "deliver"
+        assert transport.stats.transit_losses == 0
+
+    def test_transfer_pays_latency_and_serialisation(self):
+        topology = UniformTopology(latency_s=0.1, bandwidth_gbps=1.0)
+        sim = Simulator()
+        transport = Transport(sim, topology)
+        fate, delay = transport.transfer("A", "B", make_job(), size_mb=125.0)
+        assert fate == "deliver"
+        assert delay == pytest.approx(0.1 + 1.0)
+
+    def test_notify_is_one_way_and_always_delivered(self):
+        sim = Simulator()
+        log = MessageLog()
+        transport = Transport(sim, UniformTopology(loss_rate=0.9), rng=np.random.default_rng(0))
+        transport.add_observer(log)
+        job = make_job()
+        transport.notify("B", "A", MessageType.JOB_COMPLETION, job)
+        assert log.count_by_type(MessageType.JOB_COMPLETION) == 1
+        assert transport.stats.by_type[MessageType.JOB_COMPLETION.value] == 1
+
+
+class TestControlPlane:
+    def test_control_counts_per_kind_and_node(self):
+        transport = Transport(Simulator())
+        transport.control("directory/shard0", "query")
+        transport.control("directory/shard1", "query")
+        transport.control("directory/shard0", "subscribe")
+        stats = transport.stats
+        assert stats.control_messages == 3
+        assert stats.control_by_kind == {"query": 2, "subscribe": 1}
+        assert stats.control_by_node == {"directory/shard0": 2, "directory/shard1": 1}
+        # Control traffic never leaks into the paper's data-plane counters.
+        assert stats.messages == 0
