@@ -23,6 +23,11 @@ scenarios from the shell::
     gridfed run --faults crash-recover --thin 10 --validate
     gridfed sweep --faults chaos --profiles 0 50 100 --thin 10
 
+    # large federations on the amortized-O(1) calendar event queue, and a
+    # cProfile hotspot table for any scenario:
+    gridfed run --size 256 --queue calendar --thin 16 --validate
+    gridfed profile --size 64 --thin 10 --top 20
+
     # the message fabric: WAN topologies and a sharded directory:
     gridfed run --topology two-tier-wan --shards 4 --thin 10 --validate
 
@@ -197,6 +202,7 @@ def _scenario_from_args(args, oft_pct: Optional[float] = None) -> Scenario:
         faults=args.faults,
         transport=args.topology,
         directory_shards=args.shards,
+        engine=args.queue,
     )
 
 
@@ -248,6 +254,7 @@ def cmd_sweep(args) -> str:
         faults=args.faults,
         transport=args.topology,
         directory_shards=args.shards,
+        engine=args.queue,
     )
     runner = SweepRunner(workers=args.workers)
     if args.sizes:
@@ -285,10 +292,26 @@ def _load_baseline(path: str):
     import json as _json
     from pathlib import Path as _Path
 
+    from repro.perf import REPORT_SCHEMA
+
+    baseline_path = _Path(path)
+    if not baseline_path.exists():
+        raise ValueError(
+            f"baseline {path} does not exist — record one with "
+            f"'gridfed bench --out {path}' on a quiet machine and commit it"
+        )
     try:
-        return _json.loads(_Path(path).read_text(encoding="utf-8"))
+        baseline = _json.loads(baseline_path.read_text(encoding="utf-8"))
     except (OSError, _json.JSONDecodeError) as exc:
         raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    schema = baseline.get("schema") if isinstance(baseline, dict) else None
+    if schema != REPORT_SCHEMA:
+        raise ValueError(
+            f"baseline {path} was recorded under schema {schema!r} but this "
+            f"gridfed writes {REPORT_SCHEMA!r} — regenerate it with "
+            f"'gridfed bench --scale <scale> --out {path}'"
+        )
+    return baseline
 
 
 def cmd_bench(args) -> str:
@@ -300,11 +323,17 @@ def cmd_bench(args) -> str:
         write_report,
     )
 
+    # Validate the baseline up front: a missing or stale-schema file should
+    # fail in milliseconds, not after minutes of benchmarking.
+    baseline = None
+    if args.compare:
+        baseline = _load_baseline(args.compare)
+    elif args.baseline:
+        baseline = _load_baseline(args.baseline)
     report = run_benchmarks(args.scale, seed=args.seed)
     path = write_report(report, args.out)
     output = render_report(report) + f"\nreport written to {path}\n"
     if args.compare:
-        baseline = _load_baseline(args.compare)
         table, problems = render_comparison(
             report, baseline, max_regression=args.max_regression
         )
@@ -317,7 +346,6 @@ def cmd_bench(args) -> str:
             )
         output += "\n" + table
     elif args.baseline:
-        baseline = _load_baseline(args.baseline)
         problems = compare_to_baseline(report, baseline, max_regression=args.max_regression)
         if problems:
             raise ValueError(
@@ -326,6 +354,13 @@ def cmd_bench(args) -> str:
             )
         output += f"baseline check passed ({args.baseline}, max {args.max_regression:.1f}x)\n"
     return output
+
+
+def cmd_profile(args) -> str:
+    from repro.perf import profile_scenario
+
+    scenario = _scenario_from_args(args)
+    return profile_scenario(scenario, top=args.top, sort=args.sort)
 
 
 _COMMANDS = {
@@ -340,6 +375,7 @@ _COMMANDS = {
     "run": cmd_run,
     "sweep": cmd_sweep,
     "bench": cmd_bench,
+    "profile": cmd_profile,
 }
 
 _COMMAND_HELP = {
@@ -355,6 +391,7 @@ _COMMAND_HELP = {
     "sweep": "run a profile/size sweep of a registered scenario (parallelisable)",
     "bench": "hot-path perf benchmarks; writes benchmarks/BENCH_perf.json, "
     "optional regression gate (--baseline / --compare)",
+    "profile": "cProfile one scenario run and print its top-N hotspot table",
 }
 
 
@@ -397,6 +434,15 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         help="directory shard count (1 = single shared directory)",
+    )
+    from repro.sim.queues import available_queues
+
+    parser.add_argument(
+        "--queue",
+        default="heap",
+        choices=available_queues(),
+        help="event-queue backend of the simulation kernel (results are "
+        "identical across backends; 'calendar' wins at very large scales)",
     )
 
 
@@ -470,6 +516,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="runtime assertion mode: check every simulation invariant "
         "(fails loudly on the first breach)",
+    )
+
+    profile_parser = subparsers.add_parser(
+        "profile", parents=[common], help=_COMMAND_HELP["profile"]
+    )
+    _add_scenario_options(profile_parser)
+    profile_parser.add_argument(
+        "--oft", type=float, default=30.0, help="percentage of OFT users (economy mode)"
+    )
+    profile_parser.add_argument(
+        "--size",
+        type=int,
+        default=None,
+        help="federation size via Table 1 replication (default: the 8 Table 1 resources)",
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=25, help="hotspot rows to print"
+    )
+    profile_parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=["cumulative", "tottime"],
+        help="hotspot ordering: cumulative (time incl. subcalls) or tottime",
     )
 
     sweep_parser = subparsers.add_parser("sweep", parents=[common], help=_COMMAND_HELP["sweep"])

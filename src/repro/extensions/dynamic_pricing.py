@@ -83,20 +83,25 @@ class DynamicPricingFederation(Federation):
             enquiry_deltas[name] = total - self._last_enquiries[name]
             self._last_enquiries[name] = total
         total_enquiries = sum(enquiry_deltas.values())
-        for name, gfa in self.gfas.items():
-            if not gfa.alive or not self.directory.is_subscribed(name):
-                # Crashed or departed clusters keep their last price; they
-                # re-enter the market (and repricing) once re-listed.
-                self.price_history[name].append(gfa.spec.price)
-                continue
-            demand = enquiry_deltas[name] / total_enquiries if total_enquiries else 0.0
-            new_price = self.pricing_policy.adjusted_price(gfa.spec.mips, demand)
-            if abs(new_price - gfa.spec.price) > 1e-12:
-                new_spec = dataclasses.replace(gfa.spec, price=new_price)
-                gfa.spec = new_spec
-                gfa.lrms.spec = new_spec
-                self.directory.update_quote(name, new_spec)
-            self.price_history[name].append(new_price)
+        # The whole repricing tick is one same-timestamp quote-refresh storm:
+        # batching it costs every version-stamped consumer (ranking caches,
+        # open query sessions) a single invalidation instead of one per
+        # re-quoted cluster.
+        with self.directory.batch_updates():
+            for name, gfa in self.gfas.items():
+                if not gfa.alive or not self.directory.is_subscribed(name):
+                    # Crashed or departed clusters keep their last price; they
+                    # re-enter the market (and repricing) once re-listed.
+                    self.price_history[name].append(gfa.spec.price)
+                    continue
+                demand = enquiry_deltas[name] / total_enquiries if total_enquiries else 0.0
+                new_price = self.pricing_policy.adjusted_price(gfa.spec.mips, demand)
+                if abs(new_price - gfa.spec.price) > 1e-12:
+                    new_spec = dataclasses.replace(gfa.spec, price=new_price)
+                    gfa.spec = new_spec
+                    gfa.lrms.spec = new_spec
+                    self.directory.update_quote(name, new_spec)
+                self.price_history[name].append(new_price)
         self.repricings += 1
         # Keep repricing until the event queue drains (the simulator stops
         # scheduling as soon as nothing else is pending and run() returns).

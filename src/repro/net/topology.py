@@ -103,6 +103,12 @@ class Topology:
     #: Registry key this instance was built from (set by :func:`build_topology`).
     name: str = "custom"
 
+    #: True when *every* link is free — zero latency, infinite bandwidth, no
+    #: loss — so the transport may take its allocation-free fast path (no
+    #: per-message link lookups, no loss draws).  Conservatively False for
+    #: custom models; :class:`UniformTopology` computes it from its profile.
+    free: bool = False
+
     def link(self, src: str, dst: str) -> LinkProfile:  # pragma: no cover - abstract
         raise NotImplementedError
 
@@ -126,6 +132,7 @@ class UniformTopology(Topology):
         self._profile = LinkProfile(
             latency_s=latency_s, bandwidth_gbps=bandwidth_gbps, loss_rate=loss_rate
         )
+        self.free = self._profile == LOOPBACK
 
     def link(self, src: str, dst: str) -> LinkProfile:
         if src == dst:

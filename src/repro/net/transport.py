@@ -26,6 +26,15 @@ random numbers and delivers everything inline, so the default path stays
 byte-identical to the pre-transport code.  Fault-window draws come from the
 injector's ``"faults/network"`` stream (the legacy draw order is preserved);
 link-loss draws come from the federation's ``"net/latency"`` stream.
+
+Fast path: when the topology is *free* (zero latency, infinite bandwidth, no
+loss — the paper's model) and no fault windows are installed, the data-plane
+methods short-circuit past link lookups, window scans, loss draws and latency
+accounting straight to the counter updates and observer hooks.  Every
+recorded count is identical to the slow path's — only per-message overhead
+(and the per-transfer fate-tuple allocation) disappears.  Set
+:attr:`Transport.fast_path` to ``False`` to benchmark the difference
+(``gridfed bench`` records the end-to-end ratio).
 """
 
 from __future__ import annotations
@@ -93,6 +102,11 @@ class TransportStats:
         return dict(self.per_job)
 
 
+#: Shared fate tuple returned by every fast-path transfer: the default path
+#: hands a job over synchronously, so no per-transfer tuple is allocated.
+_DELIVER_INLINE: Tuple[str, float] = ("deliver", 0.0)
+
+
 class Transport:
     """Routes, perturbs and accounts every cross-entity message.
 
@@ -107,6 +121,13 @@ class Transport:
         Generator for *link-level* datagram loss draws (the federation passes
         its ``"net/latency"`` stream).  Never touched by loss-free topologies.
     """
+
+    #: Master switch for the free-topology short-circuit.  Class-level so the
+    #: benchmark suite can flip whole runs (``Transport.fast_path = False``)
+    #: without threading a flag through every constructor; assign on an
+    #: instance to override locally.  The flag is read at construction and at
+    #: :meth:`set_perturbations` time — flip it before building a federation.
+    fast_path: bool = True
 
     def __init__(
         self,
@@ -128,6 +149,9 @@ class Transport:
         #: Fault-plan perturbation windows (installed by the fault injector).
         self._windows: Sequence["NetworkPerturbation"] = ()
         self._fault_rng: Optional[np.random.Generator] = None
+        # The short-circuit is legal iff every link is free and no fault
+        # window can ever perturb a message; recomputed when windows arrive.
+        self._fast = self.fast_path and self.topology.free
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -156,6 +180,7 @@ class Transport:
         """
         self._windows = tuple(windows)
         self._fault_rng = rng
+        self._fast = self.fast_path and self.topology.free and not self._windows
 
     # ------------------------------------------------------------------ #
     # Data plane
@@ -179,6 +204,15 @@ class Transport:
         Latency is charged to the accounting, not to the simulation clock —
         the paper models negotiation as instantaneous in simulated time.
         """
+        if self._fast:
+            # Free links, no windows: nothing can delay or lose the round
+            # trip, so skip the link lookup and the window/loss machinery.
+            self._record(request, src, dst, job, size_mb, 0.0)
+            if not responder_alive:
+                self._timeout(src, dst, job)
+                return False
+            self._record(reply, dst, src, job, size_mb, 0.0)
+            return True
         link = self.topology.link(src, dst)
         self._record(request, src, dst, job, size_mb, link.latency_s)
         if not responder_alive:
@@ -214,6 +248,9 @@ class Transport:
         a zero delay (the default path) means the caller delivers inline,
         exactly like the pre-transport synchronous hand-off.
         """
+        if self._fast:
+            self._record(MessageType.JOB_SUBMISSION, src, dst, job, size_mb, 0.0)
+            return _DELIVER_INLINE
         link = self.topology.link(src, dst)
         self._record(MessageType.JOB_SUBMISSION, src, dst, job, size_mb, link.latency_s)
         delay = 0.0
@@ -239,6 +276,9 @@ class Transport:
         size_mb: float = CONTROL_MESSAGE_MB,
     ) -> None:
         """A one-way, reliable notification (job-completion receipts)."""
+        if self._fast:
+            self._record(mtype, src, dst, job, size_mb, 0.0)
+            return
         link = self.topology.link(src, dst)
         self._record(mtype, src, dst, job, size_mb, link.latency_s)
 

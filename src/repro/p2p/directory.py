@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import enum
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -263,6 +264,17 @@ class FederationDirectory:
         #: Membership/quote version: bumped by subscribe, unsubscribe and
         #: update_quote.  Stamps the ranking cache and open query sessions.
         self._version: int = 0
+        # Batch state: while a batch_updates() block is open, membership
+        # changes set the dirty flag instead of bumping the version, so a
+        # same-timestamp storm of quote refreshes (dynamic pricing reprices
+        # every cluster in one tick) invalidates the ranking caches and
+        # restarts open sessions exactly once.
+        self._batch_depth: int = 0
+        self._batch_dirty: bool = False
+        # Optional hook fired on every version bump; a ShardedDirectory
+        # installs one so its aggregate version stays an O(1) counter instead
+        # of an O(shards) sum recomputed on every session probe.
+        self._on_version_bump = None
         self._ranking_cache: Dict[Tuple[RankCriterion, int], Tuple[int, List[DirectoryQuote]]] = {}
         # Control-plane accounting: when a transport is attached (the
         # federation does it), every subscribe / quote / query RPC is counted
@@ -279,6 +291,41 @@ class FederationDirectory:
         if self._transport is not None:
             self._transport.control(self._node, kind)
 
+    def _bump_version(self) -> None:
+        if self._batch_depth:
+            self._batch_dirty = True
+            return
+        self._version += 1
+        if self._on_version_bump is not None:
+            self._on_version_bump()
+
+    @contextmanager
+    def batch_updates(self):
+        """Coalesce a storm of membership changes into one version bump.
+
+        Subscribes / unsubscribes / quote updates inside the block are
+        applied to the overlay immediately, but the version is bumped *once*
+        at the outermost exit — so version-stamped consumers (ranking caches,
+        open query sessions, sharded merge sessions) pay one invalidation for
+        the whole storm instead of one per call.  This is what keeps the
+        dynamic-pricing repricing tick (every cluster re-quotes at the same
+        timestamp) from restarting every open negotiation sweep n times.
+
+        Rank queries are forbidden inside the block (they raise
+        :class:`~repro.p2p.overlay.OverlayError`): with the bump deferred, a
+        mid-batch query could cache a half-applied ranking against the old
+        version.  Publication-side reads (``quote_of``, membership tests)
+        remain legal.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0 and self._batch_dirty:
+                self._batch_dirty = False
+                self._bump_version()
+
     # ------------------------------------------------------------------ #
     # Publication interface (subscribe / quote / unsubscribe)
     # ------------------------------------------------------------------ #
@@ -290,7 +337,7 @@ class FederationDirectory:
         self._quotes[gfa_name] = quote
         self._by_price.insert((spec.price, gfa_name), quote)
         self._by_speed.insert((-spec.mips, gfa_name), quote)
-        self._version += 1
+        self._bump_version()
         self._control("subscribe")
         return quote
 
@@ -301,16 +348,20 @@ class FederationDirectory:
         report survives the update, so the coordination extension keeps its
         pruning information when dynamic pricing re-quotes a resource.  On
         the control plane it is also *one* message — a quote update — not the
-        unsubscribe/subscribe pair it decomposes into internally.
+        unsubscribe/subscribe pair it decomposes into internally, and on the
+        version counter it is likewise *one* bump, so consumers re-validate
+        once per refresh (and once per whole storm under
+        :meth:`batch_updates`).
         """
         load_report = self._load_reports.get(gfa_name)
         transport = self._transport
         self._transport = None  # suppress the inner pair's accounting
-        try:
-            self.unsubscribe(gfa_name)
-            quote = self.subscribe(gfa_name, spec)
-        finally:
-            self._transport = transport
+        with self.batch_updates():  # the pair is one logical version bump
+            try:
+                self.unsubscribe(gfa_name)
+                quote = self.subscribe(gfa_name, spec)
+            finally:
+                self._transport = transport
         self._control("update-quote")
         if load_report is not None:
             self._load_reports[gfa_name] = load_report
@@ -324,7 +375,7 @@ class FederationDirectory:
         self._by_price.remove((quote.spec.price, gfa_name))
         self._by_speed.remove((-quote.spec.mips, gfa_name))
         self._load_reports.pop(gfa_name, None)
-        self._version += 1
+        self._bump_version()
         self._control("unsubscribe")
 
     def report_load(self, gfa_name: str, expected_wait: float) -> None:
@@ -349,6 +400,11 @@ class FederationDirectory:
         return self._by_price if criterion is RankCriterion.CHEAPEST else self._by_speed
 
     def _account_query(self) -> None:
+        if self._batch_depth:
+            raise OverlayError(
+                "rank queries are not allowed inside batch_updates() — the "
+                "deferred version bump would let them cache half-applied state"
+            )
         self._stats.queries += 1
         self._stats.assumed_messages += theoretical_query_messages(max(len(self._quotes), 1))
         self._control("query")
@@ -466,6 +522,11 @@ class FederationDirectory:
         The rebuild's single level-0 sweep is charged to the measured hop
         count; cache hits cost no hops, which is exactly the point.
         """
+        if self._batch_depth:
+            raise OverlayError(
+                "rankings are not available inside batch_updates() — the "
+                "deferred version bump would let them cache half-applied state"
+            )
         key = (criterion, min_processors)
         entry = self._ranking_cache.get(key)
         if entry is not None and entry[0] == self._version:

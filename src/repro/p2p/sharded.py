@@ -29,6 +29,7 @@ the unsharded code.
 from __future__ import annotations
 
 import zlib
+from contextlib import ExitStack, contextmanager
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -184,9 +185,18 @@ class ShardedDirectory:
         self.shards: List[FederationDirectory] = [
             FederationDirectory(rng=rng) for rng in rngs
         ]
+        # Aggregate version kept as an O(1) counter: every shard bump
+        # notifies the parent, so the per-probe version check of merge
+        # sessions costs one attribute read instead of an O(shards) sum.
+        self._version: int = 0
+        for shard in self.shards:
+            shard._on_version_bump = self._note_shard_bump
         self._merged_cache: Dict[
             Tuple[RankCriterion, int], Tuple[int, List[DirectoryQuote]]
         ] = {}
+
+    def _note_shard_bump(self) -> None:
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -223,8 +233,27 @@ class ShardedDirectory:
     # ------------------------------------------------------------------ #
     @property
     def version(self) -> int:
-        """Aggregate membership/quote version (any shard bump bumps it)."""
-        return sum(shard.version for shard in self.shards)
+        """Aggregate membership/quote version (any shard bump bumps it).
+
+        Maintained as a live counter through the shards' bump hooks, so a
+        merge session's per-probe staleness check is ``O(1)`` regardless of
+        the shard count.
+        """
+        return self._version
+
+    @contextmanager
+    def batch_updates(self):
+        """Coalesce a cross-shard storm of quote refreshes.
+
+        Enters :meth:`FederationDirectory.batch_updates` on every shard, so
+        the whole storm costs at most one version bump per *touched* shard
+        (untouched shards stay clean) instead of one per call — and
+        therefore at most one restart of every open merge session.
+        """
+        with ExitStack() as stack:
+            for shard in self.shards:
+                stack.enter_context(shard.batch_updates())
+            yield self
 
     @property
     def load_updates(self) -> int:

@@ -28,6 +28,7 @@ from repro.cluster.lrms import SchedulingPolicy
 from repro.core.federation import FederationConfig
 from repro.core.policies import SharingMode
 from repro.net.topology import TOPOLOGY_REGISTRY, available_topologies, canonical_topology
+from repro.sim.queues import QUEUE_REGISTRY, available_queues
 from repro.scenario.registry import (
     AGENT_REGISTRY,
     FAULT_REGISTRY,
@@ -95,6 +96,14 @@ class Scenario:
         Number of directory peers the federation's quotes are partitioned
         across by consistent key hashing (1 = the single shared directory;
         rank queries over more shards run scatter-gather merge sessions).
+    engine:
+        Event-queue backend of the simulation kernel (``"heap"`` or
+        ``"calendar"``, or anything registered via
+        :func:`repro.sim.register_queue`).  All backends deliver the
+        identical ``(time, priority, seq)`` event order — result
+        fingerprints are byte-identical across backends — so this selects
+        wall-clock behaviour only: the calendar queue wins once the pending
+        event population is very large (see docs/PERFORMANCE.md).
     """
 
     mode: SharingMode = SharingMode.ECONOMY
@@ -113,6 +122,7 @@ class Scenario:
     faults: str = "none"
     transport: str = "uniform"
     directory_shards: int = 1
+    engine: str = "heap"
     keep_message_records: bool = False
 
     # ------------------------------------------------------------------ #
@@ -152,6 +162,11 @@ class Scenario:
                 f"unknown transport topology {self.transport!r}; registered: "
                 f"{', '.join(available_topologies())}"
             )
+        if self.engine not in QUEUE_REGISTRY:
+            raise ValueError(
+                f"unknown event-queue backend {self.engine!r}; registered: "
+                f"{', '.join(available_queues())}"
+            )
         # Aliases normalise to their canonical key so "wan" and
         # "two-tier-wan" hash (and memoise, and describe) identically.
         object.__setattr__(self, "transport", canonical_topology(self.transport))
@@ -185,6 +200,7 @@ class Scenario:
             keep_message_records=self.keep_message_records,
             transport=self.transport,
             directory_shards=self.directory_shards,
+            engine=self.engine,
         )
 
     def replace(self, **changes) -> "Scenario":
@@ -221,6 +237,8 @@ class Scenario:
             summary += f" transport={self.transport}"
         if self.directory_shards != 1:
             summary += f" shards={self.directory_shards}"
+        if self.engine != "heap":
+            summary += f" engine={self.engine}"
         return summary
 
 
@@ -242,6 +260,7 @@ def scenario_from_config(config: FederationConfig, **overrides) -> Scenario:
         keep_message_records=config.keep_message_records,
         transport=config.transport,
         directory_shards=config.directory_shards,
+        engine=config.engine,
     )
     base.update(overrides)
     return Scenario(**base)

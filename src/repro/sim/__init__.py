@@ -3,7 +3,9 @@
 This package is the substrate that replaces the GridSim toolkit used in the
 paper: a small, deterministic, single-threaded discrete-event simulator with
 
-* a binary-heap event queue (:class:`~repro.sim.engine.Simulator`),
+* a pluggable event-queue kernel (:class:`~repro.sim.engine.Simulator` over
+  the :mod:`repro.sim.queues` backends — the classic binary heap and an
+  amortized-O(1) calendar queue, byte-identical delivery order),
 * named simulation entities that exchange timestamped events
   (:class:`~repro.sim.entity.Entity`),
 * reproducible, independently-seeded random streams
@@ -17,6 +19,13 @@ is built on top of these primitives.
 from repro.sim.engine import Simulator, ScheduledEvent, SimulationError
 from repro.sim.entity import Entity
 from repro.sim.events import Event, EventType
+from repro.sim.queues import (
+    CalendarQueue,
+    EventQueue,
+    HeapQueue,
+    available_queues,
+    register_queue,
+)
 from repro.sim.rng import RandomStreams
 from repro.sim.process import Process, Timeout
 
@@ -27,6 +36,11 @@ __all__ = [
     "Entity",
     "Event",
     "EventType",
+    "EventQueue",
+    "HeapQueue",
+    "CalendarQueue",
+    "register_queue",
+    "available_queues",
     "RandomStreams",
     "Process",
     "Timeout",

@@ -1,6 +1,7 @@
 """Core discrete-event simulation engine.
 
-The :class:`Simulator` keeps a binary heap of scheduled callbacks ordered by
+The :class:`Simulator` keeps scheduled callbacks in a pluggable
+:class:`~repro.sim.queues.EventQueue` backend ordered by
 (time, priority, sequence-number).  The sequence number guarantees a stable,
 deterministic ordering for events scheduled at identical timestamps, which is
 essential for reproducible experiments: two runs with the same seeds produce
@@ -9,22 +10,49 @@ latency-bearing transports routinely land independent messages on the same
 timestamp, and their delivery order must be schedule order — never a heap
 insertion accident.  :mod:`repro.sim.entity` mirrors the sequence number on
 ``Event.seq`` so the order is observable at the message layer, and
-``tests/test_delivery_order.py`` pins the guarantee (the tests fail against a
-seq-less heap, whose equal-key pop order depends on push/pop history).
+``tests/test_delivery_order.py`` pins the guarantee for *every registered
+backend* (the tests fail against a seq-less heap, whose equal-key pop order
+depends on push/pop history).
+
+Backends are selected by name — ``Simulator(queue="heap")`` (the default
+binary heap) or ``Simulator(queue="calendar")`` (the amortized-O(1) calendar
+queue for large-federation runs) — and must honour the same contract, so the
+backend can change wall-clock cost but never results (see
+:mod:`repro.sim.queues`).
 
 The engine is deliberately callback-based rather than coroutine-based: the
 Grid-Federation entities (GFAs, LRMSes, user populations) are reactive state
 machines, and callbacks keep the hot path free of generator overhead.  A thin
 coroutine layer is provided separately in :mod:`repro.sim.process` for code
 that reads more naturally as a process.
+
+Two hot-path details worth knowing:
+
+* **Handle pooling** — fired :class:`ScheduledEvent` handles that nobody else
+  references (checked by refcount) are recycled into the next ``schedule``
+  call instead of being reallocated; handles a caller retains are simply
+  never pooled, so the optimisation is invisible.
+* **Cancellation compaction** — backends that cannot delete cancelled events
+  eagerly (the heap) are compacted once dead entries outnumber live ones, so
+  churn-heavy runs keep the queue length proportional to the *live* event
+  population instead of growing without bound.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import math
-from typing import Any, Callable, Iterator, Optional
+from sys import getrefcount
+from typing import Any, Callable, Iterator, Optional, Union
+
+from repro.sim.queues import EventQueue, create_queue
+
+#: Fired handles kept for reuse; beyond this, handles are left to the GC.
+_POOL_MAX = 512
+
+#: Dead entries tolerated in a lazy-deletion backend before compaction (and
+#: the floor below which compaction is never worth the rebuild).
+_COMPACT_MIN_DEAD = 64
 
 
 class SimulationError(RuntimeError):
@@ -38,13 +66,11 @@ class SimulationError(RuntimeError):
 class ScheduledEvent:
     """A handle to a scheduled callback.
 
-    Events are ordered by ``(time, priority, seq)`` so that the event heap
-    pops them in deterministic order; the heap itself stores bare
-    ``(time, priority, seq, event)`` tuples, so heap sifts compare raw floats
-    and ints (the unique ``seq`` guarantees the event object is never
-    compared).  The handle is slotted: federations schedule one event per job
-    arrival and per job completion, so allocation cost and footprint are on
-    the hot path.
+    Events are ordered by ``(time, priority, seq)``; the backends store bare
+    tuples carrying those primitives so ordering comparisons never touch the
+    event object (the unique ``seq`` guarantees it).  The handle is slotted
+    and pooled: federations schedule one event per job arrival and per job
+    completion, so allocation cost and footprint are on the hot path.
 
     Attributes
     ----------
@@ -79,7 +105,7 @@ class ScheduledEvent:
         self.callback = callback
         self.args = args
         self.cancelled = cancelled
-        # True while the event sits unfired in the heap; the live pending
+        # True while the event sits unfired in the queue; the live pending
         # counter only moves for events in this state.
         self._queued = True
 
@@ -100,6 +126,11 @@ class Simulator:
     trace:
         Optional callable invoked as ``trace(time, label)`` every time an
         event fires; useful for debugging small scenarios.
+    queue:
+        Event-queue backend: a registered name (``"heap"``, ``"calendar"``)
+        or a ready :class:`~repro.sim.queues.EventQueue` instance.  Every
+        backend delivers the identical event order; pick ``"calendar"`` when
+        the pending event population is large (see docs/PERFORMANCE.md).
 
     Examples
     --------
@@ -114,19 +145,26 @@ class Simulator:
     5.0
     """
 
-    def __init__(self, start_time: float = 0.0, trace: Optional[Callable[[float, str], None]] = None):
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        trace: Optional[Callable[[float, str], None]] = None,
+        queue: Union[str, EventQueue, None] = None,
+    ):
         if not math.isfinite(start_time):
             raise SimulationError("start_time must be finite")
         self._now: float = float(start_time)
-        # Heap entries are (time, priority, seq, event) tuples: comparisons
-        # during sift stay on primitives and never touch the event object.
-        self._queue: list[tuple[float, int, int, ScheduledEvent]] = []
+        try:
+            self._queue: EventQueue = create_queue(queue, self._now)
+        except ValueError as exc:
+            raise SimulationError(str(exc)) from None
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
         self._events_processed = 0
         self._pending = 0  # live (scheduled, not fired, not cancelled) events
         self._trace = trace
+        self._pool: list[ScheduledEvent] = []
 
     # ------------------------------------------------------------------ #
     # Clock and introspection
@@ -149,6 +187,19 @@ class Simulator:
         ``O(1)`` — entities may poll it every event (dynamic pricing does).
         """
         return self._pending
+
+    @property
+    def queue_name(self) -> str:
+        """Registry name of the event-queue backend in use."""
+        return self._queue.name
+
+    @property
+    def queue_size(self) -> int:
+        """Raw entries held by the backend, *including* cancelled ones a
+        lazy-deletion backend has not dropped yet.  The compaction guarantee
+        keeps this within a constant factor of :attr:`pending` (plus the
+        compaction floor), bounded regardless of cancellation churn."""
+        return len(self._queue)
 
     def __len__(self) -> int:
         return self.pending
@@ -200,8 +251,19 @@ class Simulator:
         if not callable(callback):
             raise SimulationError("callback must be callable")
         seq = next(self._seq)
-        event = ScheduledEvent(float(time), priority, seq, callback, tuple(args))
-        heapq.heappush(self._queue, (event.time, priority, seq, event))
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = float(time)
+            event.priority = priority
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event._queued = True
+        else:
+            event = ScheduledEvent(float(time), priority, seq, callback, args)
+        self._queue.push(event)
         self._pending += 1
         return event
 
@@ -212,12 +274,22 @@ class Simulator:
         surface double-cancellation bugs early.  Cancelling an event that has
         already fired (or been drained) is a harmless no-op on the pending
         count, as it always was.
+
+        Backends with random deletion (the calendar queue) drop the entry
+        immediately; lazy backends (the heap) mark it and the engine compacts
+        the queue once dead entries outnumber live ones, so the queue length
+        stays bounded under cancellation churn either way.
         """
         if event.cancelled:
             raise SimulationError("event already cancelled")
         event.cancelled = True
         if event._queued:
             self._pending -= 1
+            queue = self._queue
+            if not queue.discard(event):
+                dead = len(queue) - self._pending
+                if dead > _COMPACT_MIN_DEAD and dead > self._pending:
+                    queue.compact()
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -229,9 +301,10 @@ class Simulator:
         empty.
         """
         queue = self._queue
-        while queue:
-            event = heapq.heappop(queue)[3]
-            event._queued = False
+        while True:
+            event = queue.pop()
+            if event is None:
+                return False
             if event.cancelled:
                 continue
             self._now = event.time
@@ -240,8 +313,14 @@ class Simulator:
             if self._trace is not None:
                 self._trace(self._now, getattr(event.callback, "__qualname__", repr(event.callback)))
             event.callback(*event.args)
+            pool = self._pool
+            if len(pool) < _POOL_MAX and getrefcount(event) == 2:
+                # Nobody kept the handle: recycle it (drop payload refs so
+                # pooled handles never pin callbacks or arguments alive).
+                event.callback = None
+                event.args = ()
+                pool.append(event)
             return True
-        return False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
@@ -261,24 +340,57 @@ class Simulator:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
         self._running = True
         self._stopped = False
-        fired = 0
         try:
-            while self._queue and not self._stopped:
-                nxt = self._peek()
-                if nxt is None:
-                    break
-                if until is not None and nxt.time > until:
-                    self._now = until
-                    return
-                if not self.step():
-                    break
-                fired += 1
-                if max_events is not None and fired >= max_events:
-                    return
-            if until is not None and not self._stopped:
-                self._now = max(self._now, until)
+            if until is None and max_events is None:
+                self._run_unbounded()
+            else:
+                self._run_bounded(until, max_events)
         finally:
             self._running = False
+
+    def _run_unbounded(self) -> None:
+        """The hot loop: no horizon, no event budget — just drain the queue.
+
+        Inlines :meth:`step` so the per-event cost is one backend ``pop``
+        plus the fire itself (this loop carries whole federation runs).
+        """
+        queue = self._queue
+        pool = self._pool
+        trace = self._trace
+        while not self._stopped:
+            event = queue.pop()
+            if event is None:
+                return
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            self._pending -= 1
+            if trace is not None:
+                trace(self._now, getattr(event.callback, "__qualname__", repr(event.callback)))
+            event.callback(*event.args)
+            if len(pool) < _POOL_MAX and getrefcount(event) == 2:
+                event.callback = None
+                event.args = ()
+                pool.append(event)
+
+    def _run_bounded(self, until: Optional[float], max_events: Optional[int]) -> None:
+        queue = self._queue
+        fired = 0
+        while not self._stopped:
+            nxt = queue.peek()
+            if nxt is None:
+                break
+            if until is not None and nxt.time > until:
+                self._now = until
+                return
+            if not self.step():  # pragma: no cover - peek guarantees an event
+                break
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                return
+        if until is not None and not self._stopped:
+            self._now = max(self._now, until)
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
@@ -289,22 +401,24 @@ class Simulator:
     # ------------------------------------------------------------------ #
     def _peek(self) -> Optional[ScheduledEvent]:
         """Return the next non-cancelled event without popping it."""
-        queue = self._queue
-        while queue and queue[0][3].cancelled:
-            heapq.heappop(queue)[3]._queued = False
-        return queue[0][3] if queue else None
+        return self._queue.peek()
 
     def drain(self) -> Iterator[ScheduledEvent]:
         """Pop and yield all remaining (non-cancelled) events without firing them.
 
         Mainly useful for inspecting the end-of-run state in tests.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)[3]
-            event._queued = False
+        queue = self._queue
+        while True:
+            event = queue.pop()
+            if event is None:
+                return
             if not event.cancelled:
                 self._pending -= 1
                 yield event
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
-        return f"Simulator(now={self._now:.3f}, pending={self.pending}, fired={self._events_processed})"
+        return (
+            f"Simulator(now={self._now:.3f}, pending={self.pending}, "
+            f"fired={self._events_processed}, queue={self.queue_name!r})"
+        )

@@ -45,3 +45,64 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Total messages" in out
         assert "OFT %" in out
+
+
+class TestQueueBackendOption:
+    def test_run_accepts_calendar_queue(self, capsys):
+        assert main(["run", "--thin", "20", "--queue", "calendar"]) == 0
+        out = capsys.readouterr().out
+        assert "engine=calendar" in out
+
+    def test_unknown_queue_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--queue", "splay"])
+
+
+class TestProfileCommand:
+    def test_profile_prints_hotspot_table(self, capsys):
+        assert main(["profile", "--thin", "20", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Hotspots" in out
+        assert "Cumulative s" in out
+        assert "run_scenario" in out
+
+    def test_profile_supports_tottime_sort(self, capsys):
+        assert main(["profile", "--thin", "20", "--top", "3", "--sort", "tottime"]) == 0
+        assert "by tottime time" in capsys.readouterr().out
+
+
+class TestBenchBaselineErrors:
+    def test_missing_baseline_is_a_clear_error(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        code = main(
+            ["bench", "--scale", "smoke", "--out", str(out_path),
+             "--compare", str(tmp_path / "nope.json")]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        assert "Traceback" not in err
+
+    def test_schema_mismatch_is_a_clear_error(self, tmp_path, capsys):
+        stale = tmp_path / "stale.json"
+        stale.write_text('{"schema": "gridfed-bench/1", "scale": "smoke"}')
+        out_path = tmp_path / "report.json"
+        code = main(
+            ["bench", "--scale", "smoke", "--out", str(out_path),
+             "--compare", str(stale)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "gridfed-bench/1" in err
+        assert "regenerate" in err
+        assert "Traceback" not in err
+
+    def test_unreadable_baseline_is_a_clear_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(
+            ["bench", "--scale", "smoke", "--out", str(tmp_path / "r.json"),
+             "--compare", str(bad)]
+        )
+        assert code == 2
+        assert "cannot read baseline" in capsys.readouterr().err

@@ -1,15 +1,20 @@
-"""Delivery-order determinism for same-timestamp events.
+"""Delivery-order determinism for same-timestamp events — per queue backend.
 
 With a latency-bearing transport, independent messages routinely collide on
 the same simulated timestamp.  Their relative order must then be a *defined*
 property — schedule order, witnessed by the engine's sequence number — and
-never an accident of heap layout.  ``heapq`` alone gives no such guarantee:
+never an accident of queue layout.  ``heapq`` alone gives no such guarantee:
 pushing ``(time, priority, event)`` tuples falls back to comparing event
 objects (or worse, raises), and the pop order of equal keys depends on the
 push/pop history.  These tests fail against such a seq-less engine: they pin
 strict FIFO among equal ``(time, priority)`` events across heap-churning
 interleavings, and the ``Event.seq`` stamp that makes the order observable
 at the entity/transport layer.
+
+Every test runs once per registered event-queue backend (the ``backend``
+fixture): the ``(time, priority, seq)`` contract is what makes the backends
+interchangeable, so the whole suite is the conformance bar a new backend has
+to clear.
 """
 
 from __future__ import annotations
@@ -20,19 +25,25 @@ import pytest
 from repro.sim.engine import ScheduledEvent, Simulator
 from repro.sim.entity import Entity, EntityRegistry, RecordingEntity
 from repro.sim.events import EventType
+from repro.sim.queues import available_queues
+
+
+@pytest.fixture(params=available_queues())
+def backend(request):
+    return request.param
 
 
 class TestEngineTieBreak:
-    def test_same_timestamp_fires_in_schedule_order(self):
-        sim = Simulator()
+    def test_same_timestamp_fires_in_schedule_order(self, backend):
+        sim = Simulator(queue=backend)
         fired = []
         for i in range(50):
             sim.schedule(10.0, fired.append, i)
         sim.run()
         assert fired == list(range(50))
 
-    def test_priority_dominates_then_seq(self):
-        sim = Simulator()
+    def test_priority_dominates_then_seq(self, backend):
+        sim = Simulator(queue=backend)
         fired = []
         sim.schedule(5.0, fired.append, "late-a", priority=1)
         sim.schedule(5.0, fired.append, "early-a", priority=0)
@@ -41,18 +52,18 @@ class TestEngineTieBreak:
         sim.run()
         assert fired == ["early-a", "early-b", "late-a", "late-b"]
 
-    def test_fifo_survives_heap_churn(self):
+    def test_fifo_survives_heap_churn(self, backend):
         """Interleave far-future events, cancellations and early events so the
-        heap sifts equal-key entries through many layouts; the equal-timestamp
+        queue sifts equal-key entries through many layouts; the equal-timestamp
         batch must still fire in exactly its schedule order."""
         rng = np.random.default_rng(0)
-        sim = Simulator()
+        sim = Simulator(queue=backend)
         fired = []
         cancelled = []
         batch = []
         for i in range(200):
             batch.append(sim.schedule(100.0, fired.append, i))
-            # Noise: far/near events and cancellations churn the heap.
+            # Noise: far/near events and cancellations churn the queue.
             noise = sim.schedule(float(rng.uniform(0.0, 99.0)), lambda: None)
             if rng.random() < 0.5:
                 sim.cancel(noise)
@@ -64,14 +75,14 @@ class TestEngineTieBreak:
         sim.run()
         assert fired == [i for i in range(200) if i not in set(cancelled)]
 
-    def test_seq_is_strictly_increasing_per_schedule_call(self):
-        sim = Simulator()
+    def test_seq_is_strictly_increasing_per_schedule_call(self, backend):
+        sim = Simulator(queue=backend)
         handles = [sim.schedule(1.0, lambda: None) for _ in range(10)]
         seqs = [handle.seq for handle in handles]
         assert seqs == sorted(seqs)
         assert len(set(seqs)) == 10
 
-    def test_heap_entries_never_compare_event_objects(self):
+    def test_queue_entries_never_compare_event_objects(self):
         """The unique seq guarantees tuple comparison stops before the event
         handle: events must not need (or define) ordering."""
         with pytest.raises(TypeError):
@@ -84,24 +95,24 @@ class _Sender(Entity):
 
 
 class TestEntityDeliveryOrder:
-    def _world(self):
-        sim = Simulator()
+    def _world(self, backend):
+        sim = Simulator(queue=backend)
         registry = EntityRegistry()
         sender_a = _Sender(sim, "a", registry)
         sender_b = _Sender(sim, "b", registry)
         sink = RecordingEntity(sim, "sink", registry)
         return sim, sender_a, sender_b, sink
 
-    def test_same_delay_messages_arrive_in_send_order(self):
-        sim, a, b, sink = self._world()
+    def test_same_delay_messages_arrive_in_send_order(self, backend):
+        sim, a, b, sink = self._world(backend)
         a.send("sink", EventType.NEGOTIATE, payload=1, delay=5.0)
         b.send("sink", EventType.NEGOTIATE, payload=2, delay=5.0)
         a.send("sink", EventType.NEGOTIATE, payload=3, delay=5.0)
         sim.run()
         assert [ev.payload for ev in sink.received] == [1, 2, 3]
 
-    def test_event_seq_is_stamped_and_ordered(self):
-        sim, a, b, sink = self._world()
+    def test_event_seq_is_stamped_and_ordered(self, backend):
+        sim, a, b, sink = self._world(backend)
         first = a.send("sink", EventType.NEGOTIATE, delay=5.0)
         second = b.send("sink", EventType.REPLY, delay=5.0)
         assert first.seq is not None and second.seq is not None
@@ -111,11 +122,11 @@ class TestEntityDeliveryOrder:
             ev.seq for ev in sink.received
         )
 
-    def test_converging_delays_deliver_by_send_order_at_collision(self):
+    def test_converging_delays_deliver_by_send_order_at_collision(self, backend):
         """Messages sent at different times with different delays that land on
         one timestamp deliver in send (seq) order — the transport-reordering
-        guarantee: earlier-sent wins ties, regardless of heap history."""
-        sim, a, b, sink = self._world()
+        guarantee: earlier-sent wins ties, regardless of queue history."""
+        sim, a, b, sink = self._world(backend)
 
         def late_send():
             b.send("sink", EventType.REPLY, payload="sent-later", delay=3.0)
@@ -126,8 +137,8 @@ class TestEntityDeliveryOrder:
         assert [ev.payload for ev in sink.received] == ["sent-first", "sent-later"]
         assert sink.received[0].time == sink.received[1].time == 10.0
 
-    def test_self_timer_stamps_seq_too(self):
-        sim = Simulator()
+    def test_self_timer_stamps_seq_too(self, backend):
+        sim = Simulator(queue=backend)
         registry = EntityRegistry()
         sink = RecordingEntity(sim, "sink", registry)
         handle = sink.schedule(1.0)

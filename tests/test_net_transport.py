@@ -279,3 +279,75 @@ class TestControlPlane:
         assert stats.control_by_node == {"directory/shard0": 2, "directory/shard1": 1}
         # Control traffic never leaks into the paper's data-plane counters.
         assert stats.messages == 0
+
+
+class TestFastPath:
+    """The free-topology short-circuit: identical accounting, fewer steps."""
+
+    def _worlds(self):
+        """Two transports over the same free topology, fast path on vs off."""
+        results = {}
+        previous = Transport.fast_path
+        try:
+            for enabled in (True, False):
+                Transport.fast_path = enabled
+                sim = Simulator()
+                log = MessageLog(keep_records=True)
+                transport = Transport(sim, UniformTopology())
+                transport.add_observer(log)
+                results[enabled] = (sim, log, transport)
+        finally:
+            Transport.fast_path = previous
+        return results
+
+    def test_fast_flag_set_on_free_default_topology(self):
+        transport = Transport(Simulator())
+        assert transport._fast is True
+
+    def test_fast_flag_off_for_latency_topologies(self):
+        assert Transport(Simulator(), UniformTopology(latency_s=1e-3))._fast is False
+        assert Transport(Simulator(), StarTopology())._fast is False
+
+    def test_fast_flag_drops_when_windows_installed(self):
+        transport = Transport(Simulator())
+        assert transport._fast is True
+        window = NetworkPerturbation(start=0.0, end=1.0, loss_rate=0.5)
+        transport.set_perturbations([window], np.random.default_rng(0))
+        assert transport._fast is False
+        # And recovers when the plan clears its windows.
+        transport.set_perturbations([], np.random.default_rng(0))
+        assert transport._fast is True
+
+    def test_class_level_opt_out_respected(self):
+        previous = Transport.fast_path
+        Transport.fast_path = False
+        try:
+            assert Transport(Simulator())._fast is False
+        finally:
+            Transport.fast_path = previous
+
+    def test_fast_and_slow_paths_account_identically(self):
+        worlds = self._worlds()
+        jobs = {enabled: make_job() for enabled in worlds}
+        for enabled, (_sim, _log, transport) in worlds.items():
+            job = jobs[enabled]
+            assert transport.roundtrip("A", "B", job) is True
+            assert transport.roundtrip("A", "B", job, responder_alive=False) is False
+            assert transport.transfer("A", "B", job) == ("deliver", 0.0)
+            transport.notify("B", "A", MessageType.JOB_COMPLETION, job)
+        fast_log, slow_log = worlds[True][1], worlds[False][1]
+        assert [m.mtype for m in fast_log.records()] == [m.mtype for m in slow_log.records()]
+        assert fast_log.negotiation_timeouts == slow_log.negotiation_timeouts
+        fast_stats, slow_stats = worlds[True][2].stats, worlds[False][2].stats
+        assert fast_stats.messages == slow_stats.messages
+        assert fast_stats.by_type == slow_stats.by_type
+        assert fast_stats.volume_mb == slow_stats.volume_mb
+        assert fast_stats.latency_s == slow_stats.latency_s == 0.0
+        assert fast_stats.timeouts == slow_stats.timeouts
+
+    def test_fast_transfer_reuses_the_shared_fate_tuple(self):
+        transport = Transport(Simulator())
+        first = transport.transfer("A", "B", make_job())
+        second = transport.transfer("A", "B", make_job())
+        assert first == ("deliver", 0.0)
+        assert first is second  # no per-transfer allocation on the fast path

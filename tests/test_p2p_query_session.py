@@ -236,9 +236,11 @@ class TestRankingCache:
         directory.subscribe("A", make_spec("A", 1.0, 500.0, 4))
         assert directory.version == v0 + 1
         directory.update_quote("A", make_spec("A", 2.0, 500.0, 4))
-        assert directory.version == v0 + 3  # unsubscribe + subscribe
+        # A re-quote is one logical change: its internal unsubscribe +
+        # subscribe pair coalesces into a single version bump.
+        assert directory.version == v0 + 2
         directory.unsubscribe("A")
-        assert directory.version == v0 + 4
+        assert directory.version == v0 + 3
 
 
 class TestUpdateQuoteLoadReport:
@@ -397,3 +399,70 @@ class TestSweepDeterminismOnSessionPath:
         finally:
             FederationDirectory.query_mode = previous
         assert digests["scan"] == digests["session"]
+
+
+class TestBatchUpdates:
+    """batch_updates(): one version bump per quote-refresh storm."""
+
+    def _directory(self, n=6):
+        directory = FederationDirectory(rng=np.random.default_rng(0))
+        for i in range(n):
+            directory.subscribe(f"GFA-{i}", make_spec(f"GFA-{i}", 1.0 + i, 500.0, 4))
+        return directory
+
+    def test_storm_costs_one_version_bump(self):
+        directory = self._directory()
+        v0 = directory.version
+        with directory.batch_updates():
+            for i in range(6):
+                directory.update_quote(
+                    f"GFA-{i}", make_spec(f"GFA-{i}", 10.0 - i, 500.0, 4)
+                )
+        assert directory.version == v0 + 1
+
+    def test_empty_batch_bumps_nothing(self):
+        directory = self._directory()
+        v0 = directory.version
+        with directory.batch_updates():
+            pass
+        assert directory.version == v0
+
+    def test_batches_nest_with_one_outermost_bump(self):
+        directory = self._directory()
+        v0 = directory.version
+        with directory.batch_updates():
+            directory.update_quote("GFA-0", make_spec("GFA-0", 9.0, 500.0, 4))
+            with directory.batch_updates():
+                directory.update_quote("GFA-1", make_spec("GFA-1", 8.0, 500.0, 4))
+            assert directory.version == v0  # still deferred
+        assert directory.version == v0 + 1
+
+    def test_queries_inside_batch_are_rejected(self):
+        directory = self._directory()
+        with directory.batch_updates():
+            directory.update_quote("GFA-0", make_spec("GFA-0", 9.0, 500.0, 4))
+            with pytest.raises(OverlayError, match="batch_updates"):
+                directory.query(RankCriterion.CHEAPEST, 1)
+            with pytest.raises(OverlayError, match="batch_updates"):
+                directory.ranking(RankCriterion.CHEAPEST)
+
+    def test_post_batch_queries_see_the_new_quotes(self):
+        directory = self._directory()
+        session = directory.open_session(RankCriterion.CHEAPEST)
+        assert session.next().gfa_name == "GFA-0"
+        with directory.batch_updates():
+            directory.update_quote("GFA-5", make_spec("GFA-5", 0.01, 500.0, 4))
+        # The storm bumped the version once; the session resweeps and the
+        # best-ranked unseen candidate is the re-quoted cluster.
+        assert session.next().gfa_name == "GFA-5"
+        assert directory.query(RankCriterion.CHEAPEST, 1).gfa_name == "GFA-5"
+
+    def test_batch_exception_still_closes_and_bumps(self):
+        directory = self._directory()
+        v0 = directory.version
+        with pytest.raises(RuntimeError):
+            with directory.batch_updates():
+                directory.update_quote("GFA-0", make_spec("GFA-0", 9.0, 500.0, 4))
+                raise RuntimeError("boom")
+        assert directory.version == v0 + 1
+        assert directory.query(RankCriterion.CHEAPEST, 1) is not None

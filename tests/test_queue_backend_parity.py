@@ -1,0 +1,51 @@
+"""Cross-backend result parity: the queue backend must never change results.
+
+The event-queue backend is a wall-clock knob, nothing else: all five
+experiment shapes must produce byte-identical
+:func:`~repro.scenario.runner.result_fingerprint` digests whichever backend
+runs them.  The heap backend's digests are already pinned by
+``test_golden_fingerprints.py`` (unmodified); here the calendar backend is
+held to those same golden constants, which transitively proves heap ≡
+calendar on every shape.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.scenario import result_fingerprint, run_scenario
+
+# Load the golden constants by file path: robust under every pytest rootdir /
+# import-mode combination (the coverage script invokes pytest differently).
+_spec = importlib.util.spec_from_file_location(
+    "_golden_fingerprints", Path(__file__).with_name("test_golden_fingerprints.py")
+)
+_golden = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_golden)
+GOLDEN_FINGERPRINTS = _golden.GOLDEN_FINGERPRINTS
+GOLDEN_SCENARIOS = _golden.GOLDEN_SCENARIOS
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+def test_calendar_backend_reproduces_the_golden_fingerprints(name):
+    scenario = GOLDEN_SCENARIOS[name].replace(engine="calendar")
+    assert scenario.engine == "calendar"
+    result = run_scenario(scenario)
+    assert result_fingerprint(result) == GOLDEN_FINGERPRINTS[name], (
+        f"{name} diverged under the calendar event queue — the backends no "
+        "longer deliver the identical event order"
+    )
+
+
+def test_engine_choice_changes_the_scenario_hash_but_not_results():
+    """Sweep memoisation must distinguish the backends (different wall-clock
+    profiles), even though their simulation results are identical."""
+    base = GOLDEN_SCENARIOS["exp2_federation"]
+    calendar = base.replace(engine="calendar")
+    assert base.scenario_hash() != calendar.scenario_hash()
+    assert result_fingerprint(run_scenario(base)) == result_fingerprint(
+        run_scenario(calendar)
+    )

@@ -308,3 +308,36 @@ class TestScatterAccounting:
         assert stats.control_by_kind.get("subscribe") == 2
         assert stats.control_by_kind.get("query") == 2  # one per shard (scatter)
         assert all(node.startswith("directory/shard") for node in stats.control_by_node)
+
+
+class TestShardedBatchUpdates:
+    def test_cross_shard_storm_bumps_once_per_touched_shard(self):
+        directory = sharded(4)
+        names = [f"GFA-{i}" for i in range(12)]
+        for name in names:
+            directory.subscribe(name, make_spec(name, 1.0, 500.0, 4))
+        v0 = directory.version
+        touched = {shard_for(name, 4) for name in names}
+        with directory.batch_updates():
+            for name in names:
+                directory.update_quote(name, make_spec(name, 2.0, 500.0, 4))
+        assert directory.version == v0 + len(touched)
+
+    def test_aggregate_version_counter_matches_shard_sum(self):
+        directory = sharded(3)
+        for i in range(9):
+            directory.subscribe(f"GFA-{i}", make_spec(f"GFA-{i}", 1.0 + i, 500.0, 4))
+        directory.update_quote("GFA-0", make_spec("GFA-0", 5.0, 500.0, 4))
+        directory.unsubscribe("GFA-1")
+        assert directory.version == sum(s.version for s in directory.shards)
+
+    def test_merge_session_resweeps_once_after_batched_storm(self):
+        directory = sharded(3)
+        for i in range(9):
+            directory.subscribe(f"GFA-{i}", make_spec(f"GFA-{i}", 1.0 + i, 500.0, 4))
+        session = directory.open_session(RankCriterion.CHEAPEST)
+        first = session.next().gfa_name
+        with directory.batch_updates():
+            directory.update_quote("GFA-8", make_spec("GFA-8", 0.01, 500.0, 4))
+        assert first == "GFA-0"
+        assert session.next().gfa_name == "GFA-8"

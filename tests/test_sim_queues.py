@@ -1,0 +1,419 @@
+"""Unit tests for the pluggable event-queue backends.
+
+The delivery contract — pops in strictly increasing ``(time, priority, seq)``
+order, no matter the backend — is pinned three ways: direct unit tests per
+backend, the backend-parametrized suite in ``test_delivery_order.py``, and
+the hypothesis oracle here that replays random schedule/cancel/run
+interleavings through every backend and requires identical fire sequences.
+
+The engine-level guarantees that ride on the backends are pinned too:
+bounded queue length under cancellation churn (heap compaction / calendar
+true deletion) and the pooled-handle rules (a retained handle is never
+recycled out from under its holder).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import ScheduledEvent, SimulationError, Simulator
+from repro.sim.queues import (
+    CalendarQueue,
+    EventQueue,
+    HeapQueue,
+    available_queues,
+    create_queue,
+    register_queue,
+)
+
+BACKENDS = available_queues()
+
+
+def make_event(time, seq, priority=0):
+    return ScheduledEvent(float(time), priority, seq, lambda: None)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert "heap" in BACKENDS
+        assert "calendar" in BACKENDS
+
+    def test_create_queue_by_name(self):
+        assert isinstance(create_queue("heap"), HeapQueue)
+        assert isinstance(create_queue("calendar"), CalendarQueue)
+
+    def test_create_queue_passes_instances_through(self):
+        queue = CalendarQueue()
+        assert create_queue(queue) is queue
+
+    def test_default_backend_is_heap(self):
+        assert isinstance(create_queue(None), HeapQueue)
+        assert Simulator().queue_name == "heap"
+
+    def test_unknown_backend_rejected_with_known_names(self):
+        with pytest.raises(ValueError, match="heap"):
+            create_queue("splay")
+        with pytest.raises(SimulationError, match="calendar"):
+            Simulator(queue="splay")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_queue("heap")(HeapQueue)
+
+    def test_custom_backend_registers_and_resolves(self):
+        @register_queue("test-heap-clone")
+        class CloneQueue(HeapQueue):
+            pass
+
+        try:
+            sim = Simulator(queue="test-heap-clone")
+            assert sim.queue_name == "test-heap-clone"
+        finally:
+            from repro.sim.queues import QUEUE_REGISTRY
+
+            del QUEUE_REGISTRY["test-heap-clone"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBackendContract:
+    def test_pops_in_key_order(self, backend):
+        queue = create_queue(backend)
+        events = [
+            make_event(5.0, 0),
+            make_event(1.0, 1),
+            make_event(5.0, 2, priority=-1),
+            make_event(3.0, 3),
+            make_event(5.0, 4),
+        ]
+        for event in events:
+            queue.push(event)
+        popped = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            popped.append(event.seq)
+        assert popped == [1, 3, 2, 0, 4]
+
+    def test_len_counts_raw_entries(self, backend):
+        queue = create_queue(backend)
+        for i in range(10):
+            queue.push(make_event(float(i), i))
+        assert len(queue) == 10
+
+    def test_pop_clears_queued_flag(self, backend):
+        queue = create_queue(backend)
+        event = make_event(1.0, 0)
+        queue.push(event)
+        assert event._queued
+        assert queue.pop() is event
+        assert not event._queued
+
+    def test_peek_returns_next_live_without_removing(self, backend):
+        queue = create_queue(backend)
+        first = make_event(1.0, 0)
+        queue.push(make_event(2.0, 1))
+        queue.push(first)
+        assert queue.peek() is first
+        assert queue.pop() is first  # peek did not consume it
+
+    def test_peek_skips_cancelled(self, backend):
+        queue = create_queue(backend)
+        dead = make_event(1.0, 0)
+        live = make_event(2.0, 1)
+        queue.push(dead)
+        queue.push(live)
+        dead.cancelled = True
+        assert queue.peek() is live
+
+    def test_compact_drops_cancelled(self, backend):
+        queue = create_queue(backend)
+        events = [make_event(float(i), i) for i in range(20)]
+        for event in events:
+            queue.push(event)
+        for event in events[::2]:
+            event.cancelled = True
+        removed = sum(1 for event in events[::2] if not queue.discard(event))
+        # Whatever discard declined, compact must finish off.
+        queue.compact()
+        assert len(queue) == 10
+        assert [queue.pop().seq for _ in range(10)] == [e.seq for e in events[1::2]]
+        del removed
+
+    def test_same_time_priority_pops_in_seq_order_after_churn(self, backend):
+        rng = np.random.default_rng(1)
+        queue = create_queue(backend)
+        seq = 0
+        batch = []
+        for _ in range(100):
+            event = make_event(50.0, seq)
+            seq += 1
+            batch.append(event)
+            queue.push(event)
+            noise = make_event(float(rng.uniform(0, 49)), seq)
+            seq += 1
+            queue.push(noise)
+            if rng.random() < 0.6:
+                noise.cancelled = True
+                queue.discard(noise)
+        popped = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            if not event.cancelled and event.time == 50.0:
+                popped.append(event.seq)
+        assert popped == [e.seq for e in batch]
+
+
+class TestCalendarSpecifics:
+    def test_discard_physically_removes(self):
+        queue = CalendarQueue()
+        events = [make_event(float(i) * 0.5, i) for i in range(100)]
+        for event in events:
+            queue.push(event)
+        victim = events[37]
+        victim.cancelled = True
+        assert queue.discard(victim) is True
+        assert len(queue) == 99
+        assert not victim._queued
+
+    def test_discard_unknown_event_declines(self):
+        queue = CalendarQueue()
+        queue.push(make_event(1.0, 0))
+        stranger = make_event(1.0, 99)
+        assert queue.discard(stranger) is False
+        assert len(queue) == 1
+
+    def test_heap_discard_declines(self):
+        queue = HeapQueue()
+        event = make_event(1.0, 0)
+        queue.push(event)
+        event.cancelled = True
+        assert queue.discard(event) is False
+        assert len(queue) == 1  # the corpse lingers until popped/compacted
+
+    def test_resize_preserves_order_across_growth_and_shrink(self):
+        rng = np.random.default_rng(7)
+        queue = CalendarQueue()
+        times = sorted(float(t) for t in rng.uniform(0, 1e6, size=5000))
+        events = [make_event(t, i) for i, t in enumerate(rng.permutation(times))]
+        for event in events:
+            queue.push(event)
+        popped_times = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            popped_times.append(event.time)
+        assert popped_times == times
+
+    def test_sparse_population_still_pops_in_order(self):
+        # Events far apart relative to the bucket width force the year-scan
+        # fallback paths.
+        queue = CalendarQueue()
+        times = [0.0, 1e4, 1e8, 1e2, 1e6]
+        for i, t in enumerate(times):
+            queue.push(make_event(t, i))
+        assert [queue.pop().time for _ in range(5)] == sorted(times)
+
+    def test_identical_timestamps_degrade_gracefully(self):
+        queue = CalendarQueue()
+        for i in range(500):
+            queue.push(make_event(42.0, i))
+        assert [queue.pop().seq for _ in range(500)] == list(range(500))
+
+
+class TestEngineCompaction:
+    """Satellite regression: cancelled events must not pile up in the queue."""
+
+    def test_heap_queue_length_bounded_under_mass_cancellation(self):
+        sim = Simulator(queue="heap")
+        live = [sim.schedule(1000.0, lambda: None) for _ in range(100)]
+        # Churn: far timeouts scheduled and cancelled over and over — the
+        # pre-compaction engine kept every corpse until it surfaced.
+        worst = 0
+        for _ in range(10_000):
+            handle = sim.schedule(500.0, lambda: None)
+            sim.cancel(handle)
+            worst = max(worst, sim.queue_size)
+        # Compaction triggers once dead entries outnumber live ones (above
+        # the 64-entry floor), so the raw queue can never hold more than
+        # pending + max(64, pending) + 1 entries.
+        bound = sim.pending + max(64, sim.pending) + 1
+        assert worst <= bound, f"queue grew to {worst} (> bound {bound})"
+        assert sim.pending == 100
+        del live
+
+    def test_calendar_queue_never_accumulates_corpses(self):
+        sim = Simulator(queue="calendar")
+        for _ in range(100):
+            sim.schedule(1000.0, lambda: None)
+        for _ in range(10_000):
+            sim.cancel(sim.schedule(500.0, lambda: None))
+            assert sim.queue_size == 100  # true deletion, always tight
+
+    def test_bounded_queue_under_churn_heavy_fault_plan(self, monkeypatch):
+        """The engine guarantee holds inside a real churn-heavy faulted run:
+        at no point may dead entries outnumber max(64, live) + 1.
+
+        The plan crashes every cluster over and over while the compressed
+        synthetic workload keeps them busy, so each crash's ``fail_all``
+        cancels running jobs' finish events — the cancellation churn the
+        seed engine accumulated in its heap until the corpses surfaced.
+        """
+        from repro.faults.plan import FaultPlan
+        from repro.scenario import Scenario, run_scenario
+        from repro.workload.archive import ARCHIVE_RESOURCES
+
+        observed = []
+        original = Simulator.cancel
+
+        def recording_cancel(self, event):
+            original(self, event)
+            observed.append((self.queue_size, self.pending))
+
+        monkeypatch.setattr(Simulator, "cancel", recording_cancel)
+        plan = FaultPlan()
+        for i, resource in enumerate(ARCHIVE_RESOURCES):
+            for round_ in range(4):
+                at = 1800.0 + 600.0 * i + 5_400.0 * round_
+                plan = plan.crash(resource.name, at=at, duration=900.0)
+        run_scenario(
+            Scenario(
+                mode="economy",
+                workload="synthetic",
+                horizon=6 * 3600.0,
+                thin=3,
+                seed=42,
+            ),
+            fault_plan=plan,
+        )
+        assert observed, "the churn plan should cancel at least one event"
+        for queue_size, pending in observed:
+            assert queue_size - pending <= max(64, pending) + 1
+
+    def test_compaction_survives_to_correct_execution(self):
+        """Heavy cancellation with interleaved firing still fires the right
+        events in the right order."""
+        for backend in BACKENDS:
+            rng = np.random.default_rng(3)
+            sim = Simulator(queue=backend)
+            fired = []
+            expected = []
+            for i in range(2000):
+                handle = sim.schedule(float(rng.uniform(0, 100)), fired.append, i)
+                if rng.random() < 0.8:
+                    sim.cancel(handle)
+                else:
+                    expected.append((handle.time, handle.seq, i))
+            sim.run()
+            assert fired == [i for _, _, i in sorted(expected)]
+            assert sim.queue_size == 0
+
+
+class TestHandlePooling:
+    def test_retained_handles_are_never_recycled(self):
+        sim = Simulator()
+        kept = sim.schedule(1.0, lambda: None)
+        sim.run()
+        seq, time_ = kept.seq, kept.time
+        for _ in range(50):
+            sim.schedule(1.0, lambda: None)
+        assert (kept.seq, kept.time) == (seq, time_)
+
+    def test_pooled_handles_are_reinitialised(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")  # handle not retained → poolable
+        sim.run()
+        handle = sim.schedule(2.0, fired.append, "b")
+        assert handle.cancelled is False
+        assert handle._queued is True
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_pool_does_not_pin_callback_references(self):
+        import weakref
+
+        class Target:
+            def method(self):  # pragma: no cover - never fires
+                pass
+
+        sim = Simulator()
+        target = Target()
+        sim.schedule(1.0, lambda t=target: None)
+        sim.run()
+        ref = weakref.ref(target)
+        del target
+        assert ref() is None, "a pooled handle kept the callback alive"
+
+
+class _Op:
+    """One step of the oracle interleaving."""
+
+    def __init__(self, kind, value):
+        self.kind = kind
+        self.value = value
+
+    def __repr__(self):  # pragma: no cover - hypothesis debugging aid
+        return f"_Op({self.kind!r}, {self.value!r})"
+
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), st.floats(min_value=0.0, max_value=100.0)),
+        st.tuples(st.just("schedule_same"), st.just(0.0)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=10_000)),
+        st.tuples(st.just("run_for"), st.floats(min_value=0.0, max_value=30.0)),
+        st.tuples(st.just("step"), st.just(None)),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _replay(backend: str, ops) -> list:
+    """Replay an op sequence on one backend; return the fire transcript."""
+    sim = Simulator(queue=backend)
+    fired = []
+    handles = []
+    tag = 0
+    for kind, value in ops:
+        if kind == "schedule":
+            handles.append(sim.schedule(value, lambda t=tag: fired.append(t)))
+            tag += 1
+        elif kind == "schedule_same":
+            # Same-timestamp collisions are the interesting ordering case.
+            handles.append(sim.schedule(5.0, lambda t=tag: fired.append(t)))
+            tag += 1
+        elif kind == "cancel":
+            if handles:
+                handle = handles[value % len(handles)]
+                if not handle.cancelled:
+                    sim.cancel(handle)
+        elif kind == "run_for":
+            sim.run(until=sim.now + value)
+        elif kind == "step":
+            sim.step()
+    sim.run()
+    fired.append(("now", round(sim.now, 9), sim.events_processed, sim.pending))
+    return fired
+
+
+class TestOrderingOracle:
+    """Hypothesis oracle: every backend replays any interleaving of
+    schedule / schedule-at-equal-time / cancel / partial-run / step into the
+    exact fire transcript the heap produces."""
+
+    @given(ops=_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_backends_agree_with_heap_oracle(self, ops):
+        reference = _replay("heap", ops)
+        for backend in BACKENDS:
+            if backend == "heap":
+                continue
+            assert _replay(backend, ops) == reference
