@@ -446,6 +446,20 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_point_options(parser: argparse.ArgumentParser) -> None:
+    """Single-scenario-point options shared by ``run`` and ``profile``
+    (``sweep`` crosses ``--profiles``/``--sizes`` instead)."""
+    parser.add_argument(
+        "--oft", type=float, default=30.0, help="percentage of OFT users (economy mode)"
+    )
+    parser.add_argument(
+        "--size",
+        type=int,
+        default=None,
+        help="federation size via Table 1 replication (default: the 8 Table 1 resources)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--seed", type=int, default=42, help="workload / simulation seed")
@@ -502,15 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", parents=[common], help=_COMMAND_HELP["run"])
     _add_scenario_options(run_parser)
-    run_parser.add_argument(
-        "--oft", type=float, default=30.0, help="percentage of OFT users (economy mode)"
-    )
-    run_parser.add_argument(
-        "--size",
-        type=int,
-        default=None,
-        help="federation size via Table 1 replication (default: the 8 Table 1 resources)",
-    )
+    _add_point_options(run_parser)
     run_parser.add_argument(
         "--validate",
         action="store_true",
@@ -522,15 +528,7 @@ def build_parser() -> argparse.ArgumentParser:
         "profile", parents=[common], help=_COMMAND_HELP["profile"]
     )
     _add_scenario_options(profile_parser)
-    profile_parser.add_argument(
-        "--oft", type=float, default=30.0, help="percentage of OFT users (economy mode)"
-    )
-    profile_parser.add_argument(
-        "--size",
-        type=int,
-        default=None,
-        help="federation size via Table 1 replication (default: the 8 Table 1 resources)",
-    )
+    _add_point_options(profile_parser)
     profile_parser.add_argument(
         "--top", type=int, default=25, help="hotspot rows to print"
     )

@@ -653,12 +653,8 @@ def _tracked_timings(report: Dict[str, object]) -> Dict[str, float]:
     for row in report.get("directory_query", []):
         key = f"directory_query/{row['clusters']}x{row['probe_jobs']}/session_s"
         tracked[key] = float(row["session_s"])
-    kernel = report.get("event_kernel")
-    if isinstance(kernel, dict):  # pragma: no cover - schema-v1 baselines
-        kernel = [kernel]
-    for row in kernel or []:
-        backend = row.get("backend", "heap")
-        key = f"event_kernel/{backend}/{row['events_scheduled']}/seconds"
+    for row in report.get("event_kernel", []):
+        key = f"event_kernel/{row['backend']}/{row['events_scheduled']}/seconds"
         tracked[key] = float(row["seconds"])
     for row in report.get("queue_kernel", []):
         key = (
@@ -867,14 +863,12 @@ def render_report(report: Dict[str, object]) -> str:
         )
     )
     kernel_rows = report["event_kernel"]
-    if isinstance(kernel_rows, dict):  # pragma: no cover - schema-v1 reports
-        kernel_rows = [kernel_rows]
     out.append(
         render_table(
             ["Backend", "Events fired", "Seconds", "Events/s"],
             [
                 [
-                    row.get("backend", "heap"),
+                    row["backend"],
                     row["events_fired"],
                     row["seconds"],
                     row["events_per_s"],

@@ -307,6 +307,11 @@ class Simulator:
                 return False
             if event.cancelled:
                 continue
+            if event.time < self._now:
+                raise SimulationError(
+                    f"queue backend {queue.name!r} delivered event out of order "
+                    f"({event.time} < now {self._now})"
+                )
             self._now = event.time
             self._events_processed += 1
             self._pending -= 1
@@ -363,6 +368,11 @@ class Simulator:
                 return
             if event.cancelled:
                 continue
+            if event.time < self._now:
+                raise SimulationError(
+                    f"queue backend {queue.name!r} delivered event out of order "
+                    f"({event.time} < now {self._now})"
+                )
             self._now = event.time
             self._events_processed += 1
             self._pending -= 1

@@ -256,9 +256,27 @@ class CalendarQueue(EventQueue):
     live span so a day holds ~1 event on average.  Skewed timestamp
     distributions degrade gracefully to sorted-bucket inserts rather than
     breaking ordering.
+
+    A resize must anchor the rebuilt cursor *behind every push that is still
+    legal*, not at the pending minimum: the pending minimum can sit far ahead
+    of the engine clock (e.g. a callback burst of far-future events), and a
+    later push in between would land behind a min-anchored cursor and pop out
+    of order.  The queue therefore tracks the time of the last popped entry —
+    the engine never schedules below it — and anchors at
+    ``min(last_popped, pending_min)``.  The conservative anchor costs at most
+    one sparse-fallback scan before the next pop re-anchors tightly.
     """
 
-    __slots__ = ("_buckets", "_mask", "_nbuckets", "_width", "_inv_width", "_size", "_day")
+    __slots__ = (
+        "_buckets",
+        "_mask",
+        "_nbuckets",
+        "_width",
+        "_inv_width",
+        "_size",
+        "_day",
+        "_last_time",
+    )
 
     def __init__(self, start_time: float = 0.0):
         self._nbuckets = _MIN_BUCKETS
@@ -268,6 +286,10 @@ class CalendarQueue(EventQueue):
         self._buckets: List[list] = [[] for _ in range(_MIN_BUCKETS)]
         self._size = 0
         self._day = int(start_time)
+        # Time of the most recently popped entry (start_time before any pop):
+        # the floor below which no future push can legally land, and therefore
+        # the lowest time a resize may move the scan cursor up to.
+        self._last_time = start_time
 
     # ------------------------------------------------------------------ #
     # Core operations
@@ -311,7 +333,9 @@ class CalendarQueue(EventQueue):
             self._day = best[3]
             bucket = buckets[best[3] & mask]
         self._size = size = size - 1
-        event = bucket.pop(0)[4]
+        entry = bucket.pop(0)
+        self._last_time = entry[0]
+        event = entry[4]
         event._queued = False
         if size < self._nbuckets // 4 and self._nbuckets > _MIN_BUCKETS:
             self._resize(max(self._nbuckets // 4, _MIN_BUCKETS))
@@ -424,7 +448,11 @@ class CalendarQueue(EventQueue):
         for bucket in buckets:
             if len(bucket) > 1:
                 bucket.sort()
-        self._day = int((lo if lo is not None else 0.0) * inv)
+        # Anchor the cursor behind every still-legal push, not at the pending
+        # minimum: pending entries can sit far ahead of the engine clock, and
+        # a later push in [last_popped, lo) must not land behind the cursor.
+        anchor = self._last_time if lo is None else min(self._last_time, lo)
+        self._day = int(anchor * inv)
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return (

@@ -227,6 +227,103 @@ class TestCalendarSpecifics:
         assert [queue.pop().seq for _ in range(500)] == list(range(500))
 
 
+class TestResizeCursorAnchoring:
+    """Regression: a resize must never move the scan cursor ahead of the
+    engine clock.
+
+    Re-anchoring at the pending *minimum* is wrong — the pending set can sit
+    far ahead of ``now`` (a callback burst of far-future events), and a later
+    legal push in ``[now, pending_min)`` would land behind the cursor and pop
+    out of order, silently rewinding simulation time.  Both resize paths are
+    pinned: the push-path grow and the pop-path shrink.
+    """
+
+    def test_grow_resize_then_near_future_push_pops_in_order(self):
+        # A callback at t=5 bursts 40 far-future events (crossing the grow
+        # threshold of 2x the initial 16 buckets, so the resize fires inside
+        # the burst) and then schedules now+1.  Pre-fix the resize anchored
+        # the cursor at the burst's day and t=6 fired after t=100..139.
+        transcripts = {}
+        for backend in BACKENDS:
+            sim = Simulator(queue=backend)
+            fired = []
+
+            def burst(sim=sim, fired=fired):
+                for i in range(40):
+                    sim.schedule(95.0 + float(i), fired.append, 100.0 + i)
+                sim.schedule(1.0, fired.append, 6.0)
+
+            sim.schedule(5.0, burst)
+            sim.run()
+            assert fired == sorted(fired), f"{backend} delivered out of order"
+            transcripts[backend] = fired
+        assert all(t == transcripts["heap"] for t in transcripts.values())
+
+    def test_shrink_resize_then_near_future_push_pops_in_order(self):
+        # 33 pushes grow the calendar to 128 buckets; popping the second
+        # near-time event drops the population below a quarter of that and
+        # triggers the shrink resize while only far-future events remain.
+        # That event's callback then schedules now+1, which must still fire
+        # before the far block.
+        transcripts = {}
+        for backend in BACKENDS:
+            sim = Simulator(queue=backend)
+            fired = []
+            for i in range(31):
+                sim.schedule(1000.0 + i, fired.append, 1000.0 + i)
+            sim.schedule(1.0, fired.append, 1.0)
+            sim.schedule(
+                2.0, lambda sim=sim, fired=fired: sim.schedule(1.0, fired.append, 3.0)
+            )
+            sim.run()
+            assert fired == sorted(fired), f"{backend} delivered out of order"
+            transcripts[backend] = fired
+        assert all(t == transcripts["heap"] for t in transcripts.values())
+
+
+class TestBackendMisorderGuard:
+    """The engine must fail loudly — not silently rewind its clock — when a
+    backend violates the delivery contract."""
+
+    class _LifoQueue(EventQueue):
+        """A deliberately broken backend: pops in push order, newest first."""
+
+        def __init__(self, start_time: float = 0.0):
+            del start_time
+            self._entries = []
+
+        def push(self, event):
+            self._entries.append(event)
+
+        def pop(self):
+            if not self._entries:
+                return None
+            event = self._entries.pop()
+            event._queued = False
+            return event
+
+        def peek(self):
+            return self._entries[-1] if self._entries else None
+
+        def __len__(self):
+            return len(self._entries)
+
+    def test_run_raises_on_out_of_order_delivery(self):
+        sim = Simulator(queue=self._LifoQueue())
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        with pytest.raises(SimulationError, match="out of order"):
+            sim.run()
+
+    def test_step_raises_on_out_of_order_delivery(self):
+        sim = Simulator(queue=self._LifoQueue())
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.step()  # fires t=2.0 (broken backend pops newest first)
+        with pytest.raises(SimulationError, match="out of order"):
+            sim.step()
+
+
 class TestEngineCompaction:
     """Satellite regression: cancelled events must not pile up in the queue."""
 
@@ -367,6 +464,14 @@ _ops = st.lists(
     st.one_of(
         st.tuples(st.just("schedule"), st.floats(min_value=0.0, max_value=100.0)),
         st.tuples(st.just("schedule_same"), st.just(0.0)),
+        # Tiny/huge delay mixture: near-now events scheduled while far-future
+        # ones dominate the pending set are what exercise the calendar's
+        # resize/cursor re-anchoring paths (see TestResizeCursorAnchoring).
+        st.tuples(st.just("schedule"), st.floats(min_value=0.0, max_value=0.5)),
+        st.tuples(st.just("schedule"), st.floats(min_value=1e3, max_value=1e6)),
+        # Far-future burst crossing the calendar's grow threshold (>2x the
+        # initial 16 buckets) followed by a near-now event.
+        st.tuples(st.just("burst"), st.integers(min_value=33, max_value=48)),
         st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=10_000)),
         st.tuples(st.just("run_for"), st.floats(min_value=0.0, max_value=30.0)),
         st.tuples(st.just("step"), st.just(None)),
@@ -389,6 +494,14 @@ def _replay(backend: str, ops) -> list:
         elif kind == "schedule_same":
             # Same-timestamp collisions are the interesting ordering case.
             handles.append(sim.schedule(5.0, lambda t=tag: fired.append(t)))
+            tag += 1
+        elif kind == "burst":
+            for i in range(value):
+                handles.append(
+                    sim.schedule(500.0 + float(i), lambda t=tag: fired.append(t))
+                )
+                tag += 1
+            handles.append(sim.schedule(0.5, lambda t=tag: fired.append(t)))
             tag += 1
         elif kind == "cancel":
             if handles:
