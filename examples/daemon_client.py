@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""The durable service mode end to end: daemon, client, cache, resume.
+
+This example starts a ``GridfedDaemon`` in-process (exactly what
+``gridfed daemon --state …`` runs), then drives it purely over its local
+HTTP API with ``DaemonClient``:
+
+1. *submit* three reduced-scale scenarios and wait for their results;
+2. *stream* one submission's progress as it runs;
+3. *memoisation* — resubmitting a finished scenario completes instantly
+   from the disk-persistent result cache (shared with
+   ``SweepRunner(cache_dir=…)``), even across daemon restarts;
+4. *durability* — the daemon is stopped mid-queue and a fresh daemon on
+   the same state directory picks the work back up from its checkpoint.
+
+Run it with::
+
+    python examples/daemon_client.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from repro import Scenario
+from repro.service import DaemonClient, GridfedDaemon
+
+
+def fast(seed: int) -> Scenario:
+    """A reduced-scale scenario: a few seconds of wall-clock each."""
+    return Scenario(workload="synthetic", horizon=4 * 3600.0, thin=20, seed=seed)
+
+
+def main() -> None:
+    state_dir = tempfile.mkdtemp(prefix="gridfed-daemon-")
+    daemon = GridfedDaemon(state_dir, port=0, checkpoint_interval=1800.0)
+    daemon.start()
+    client = DaemonClient(daemon.address)
+    print(f"daemon listening on {client.base_url}  (state: {state_dir})")
+
+    # 1. Submit a small batch and wait. Submissions queue; the worker pool
+    # executes them with periodic checkpoints into the state directory.
+    sids = [client.submit(fast(seed)) for seed in (7, 8, 9)]
+    print(f"submitted {sids}")
+
+    # 2. Stream the first submission's progress (JSON lines over HTTP).
+    for observation in client.stream_progress(sids[0]):
+        progress = observation.get("progress") or {}
+        if progress:
+            print(f"  {sids[0]}: {progress.get('percent', 0.0):5.1f}% "
+                  f"jobs={progress.get('jobs_completed', 0)}/{progress.get('jobs_total', 0)}")
+        if observation["status"] in ("completed", "failed", "cancelled"):
+            break
+
+    for sid in sids:
+        record = client.wait(sid, timeout=300)
+        summary = client.result(sid)
+        print(f"  {sid}: {record['status']}  fingerprint={summary['fingerprint'][:16]}…")
+
+    # 3. A duplicate submission is served from the persistent cache: it is
+    # already completed by the time submit() returns.
+    t0 = time.perf_counter()
+    duplicate = client.submit(fast(7))
+    record = client.status(duplicate)
+    print(f"duplicate of seed=7: status={record['status']} cached={record.get('cached')} "
+          f"in {time.perf_counter() - t0:.3f}s")
+    assert client.result(duplicate)["fingerprint"] == client.result(sids[0])["fingerprint"]
+
+    # 4. Durability: enqueue one more, stop the daemon before it can finish,
+    # and let a fresh daemon on the same state directory complete it.
+    straggler = client.submit(fast(10))
+    client.shutdown()
+    daemon.stop()
+    print(f"daemon stopped with {straggler} still pending")
+
+    revived = GridfedDaemon(state_dir, port=0, checkpoint_interval=1800.0)
+    revived.start()
+    client = DaemonClient(revived.address)
+    record = client.wait(straggler, timeout=300)
+    print(f"revived daemon finished {straggler}: {record['status']}  "
+          f"fingerprint={client.result(straggler)['fingerprint'][:16]}…")
+    client.shutdown()
+    revived.stop()
+
+
+if __name__ == "__main__":
+    main()

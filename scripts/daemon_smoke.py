@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""CI daemon smoke: serve scenarios over HTTP, hit the cache, shut down clean.
+
+Starts a ``GridfedDaemon`` on an ephemeral port, then — through the HTTP API
+only — submits three reduced-scale scenarios, polls them to completion,
+fetches their result summaries, verifies that a duplicate submission is
+served instantly from the persistent result cache, and shuts the daemon
+down cleanly. Exits non-zero on any failure.
+
+Usage::
+
+    PYTHONPATH=src python scripts/daemon_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+
+from repro.scenario import Scenario
+from repro.service import DaemonClient, GridfedDaemon
+
+
+def _fast(seed: int) -> Scenario:
+    return Scenario(workload="synthetic", horizon=4 * 3600.0, thin=20, seed=seed)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="gridfed-daemon-smoke-") as state_dir:
+        daemon = GridfedDaemon(state_dir, port=0, checkpoint_interval=1800.0)
+        daemon.start()
+        client = DaemonClient(daemon.address)
+        try:
+            health = client.health()
+            if health.get("status") != "ok":
+                print(f"[daemon-smoke] FAIL: health reported {health}", file=sys.stderr)
+                return 1
+            print(f"[daemon-smoke] daemon healthy at {client.base_url}", flush=True)
+
+            sids = [client.submit(_fast(seed)) for seed in (7, 8, 9)]
+            fingerprints = {}
+            for sid in sids:
+                record = client.wait(sid, timeout=600)
+                if record["status"] != "completed":
+                    print(f"[daemon-smoke] FAIL: {sid} ended {record['status']}: "
+                          f"{record.get('error')}", file=sys.stderr)
+                    return 1
+                fingerprints[sid] = client.result(sid)["fingerprint"]
+                print(f"[daemon-smoke] {sid} completed "
+                      f"fingerprint={fingerprints[sid][:16]}…", flush=True)
+            if len(set(fingerprints.values())) != len(sids):
+                print("[daemon-smoke] FAIL: distinct scenarios produced "
+                      "identical fingerprints", file=sys.stderr)
+                return 1
+
+            # A duplicate must be completed from the persistent cache by the
+            # time submit() returns — no re-execution, same fingerprint.
+            t0 = time.perf_counter()
+            duplicate = client.submit(_fast(7))
+            elapsed = time.perf_counter() - t0
+            record = client.status(duplicate)
+            if record["status"] != "completed" or not record.get("cached"):
+                print(f"[daemon-smoke] FAIL: duplicate was not served from "
+                      f"cache: {record}", file=sys.stderr)
+                return 1
+            if client.result(duplicate)["fingerprint"] != fingerprints[sids[0]]:
+                print("[daemon-smoke] FAIL: cached duplicate fingerprint "
+                      "differs", file=sys.stderr)
+                return 1
+            print(f"[daemon-smoke] duplicate served from cache in "
+                  f"{elapsed:.3f}s", flush=True)
+
+            client.shutdown()
+        finally:
+            daemon.stop()
+    print("[daemon-smoke] OK: serve loop, cache hit and clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,13 @@ scenarios from the shell::
     gridfed sweep --profiles 0 10 20 30 40 50 60 70 80 90 100 --workers 4
     gridfed sweep --sizes 10 20 30 --profiles 0 100 --thin 5 --workers 4
 
+    # durable runs: periodic snapshots, byte-identical resume after a kill,
+    # disk-persistent sweep memoisation, and the serving daemon:
+    gridfed run --size 256 --thin 16 --checkpoint state/ckpt --checkpoint-interval 3600
+    gridfed run --resume state/ckpt
+    gridfed sweep --profiles 0 50 100 --cache-dir state/cache
+    gridfed daemon --state state/daemon --port 8414
+
 ``--thin N`` keeps every N-th job and makes exploratory runs fast; the
 EXPERIMENTS.md record was produced with ``--thin 1`` (the default).
 ``--workers N`` runs sweep points across N processes — results are identical
@@ -44,6 +51,7 @@ to the serial path (every point re-seeds from its own scenario).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -70,7 +78,14 @@ from repro.scenario import (
     PRICING_REGISTRY,
     WORKLOAD_REGISTRY,
 )
-from repro.scenario import Scenario, SweepRunner, UnknownVariantError, run_scenario
+from repro.scenario import (
+    Scenario,
+    SweepRunner,
+    UnknownVariantError,
+    result_fingerprint,
+    run_scenario,
+)
+from repro.service.snapshot import SnapshotError
 from repro.workload.archive import ARCHIVE_RESOURCES
 
 
@@ -207,8 +222,45 @@ def _scenario_from_args(args, oft_pct: Optional[float] = None) -> Scenario:
 
 
 def cmd_run(args) -> str:
-    scenario = _scenario_from_args(args)
-    result = run_scenario(scenario, validate=args.validate)
+    if args.resume:
+        if args.checkpoint:
+            raise ValueError(
+                "--resume continues checkpointing into its own directory; "
+                "--checkpoint cannot be combined with it"
+            )
+        if args.validate:
+            raise ValueError(
+                "--validate must be enabled when the run starts; it cannot be "
+                "combined with --resume"
+            )
+        from repro.service.checkpoint import resume_run
+
+        # Resume with no scenario flags adopts the snapshot's own scenario;
+        # any explicit flags are verified against it (the snapshot guard
+        # refuses a mismatched scenario hash or queue backend fast).
+        requested = _scenario_from_args(args)
+        defaults = Scenario()
+        if requested == defaults:
+            expected_scenario = expected_engine = None
+        elif requested.replace(engine=defaults.engine) == defaults:
+            # Only --queue was given: verify the backend, adopt the rest.
+            expected_scenario, expected_engine = None, requested.engine
+        else:
+            expected_scenario, expected_engine = requested, requested.engine
+        result, scenario = resume_run(
+            args.resume,
+            expected_scenario=expected_scenario,
+            expected_engine=expected_engine,
+            checkpoint_every=args.checkpoint_interval,
+        )
+    else:
+        scenario = _scenario_from_args(args)
+        result = run_scenario(
+            scenario,
+            validate=args.validate,
+            checkpoint_dir=args.checkpoint,
+            checkpoint_every=args.checkpoint_interval,
+        )
     table = render_table(
         _PROCESSING_HEADERS,
         _processing_rows(result),
@@ -219,7 +271,8 @@ def cmd_run(args) -> str:
         f"rejected={len(result.rejected_jobs())} "
         f"incentive={result.total_incentive():.2f} "
         f"messages={result.message_log.total_messages} "
-        f"events={result.events_processed}\n"
+        f"events={result.events_processed} "
+        f"fingerprint={result_fingerprint(result)}\n"
     )
     if result.faults is not None:
         fm = fault_metrics(result)
@@ -256,7 +309,11 @@ def cmd_sweep(args) -> str:
         directory_shards=args.shards,
         engine=args.queue,
     )
-    runner = SweepRunner(workers=args.workers)
+    if args.clear_cache and args.cache_dir is None:
+        raise ValueError("--clear-cache requires --cache-dir (nothing to clear)")
+    runner = SweepRunner(workers=args.workers, cache_dir=args.cache_dir)
+    if args.clear_cache:
+        runner.clear_cache()
     if args.sizes:
         scenarios = runner.sweep(base, sizes=args.sizes, profiles=args.profiles)
     else:
@@ -363,6 +420,28 @@ def cmd_profile(args) -> str:
     return profile_scenario(scenario, top=args.top, sort=args.sort)
 
 
+def cmd_daemon(args) -> str:
+    from repro.service import GridfedDaemon
+
+    daemon = GridfedDaemon(
+        args.state,
+        host=args.host,
+        port=args.port,
+        workers=args.workers or 1,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+    # The chosen address goes to stdout *and* a discovery file before the
+    # serving loop blocks, so scripts (and the restart smoke test) can find
+    # a daemon started with --port 0.
+    address_path = os.path.join(daemon.state.directory, "daemon.address")
+    with open(address_path, "w", encoding="utf-8") as handle:
+        handle.write(daemon.address + "\n")
+    sys.stdout.write(f"gridfed daemon listening on {daemon.address}\n")
+    sys.stdout.flush()
+    daemon.serve_forever()
+    return "daemon stopped\n"
+
+
 _COMMANDS = {
     "table1": cmd_table1,
     "table2": cmd_table2,
@@ -376,6 +455,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "bench": cmd_bench,
     "profile": cmd_profile,
+    "daemon": cmd_daemon,
 }
 
 _COMMAND_HELP = {
@@ -392,6 +472,8 @@ _COMMAND_HELP = {
     "bench": "hot-path perf benchmarks; writes benchmarks/BENCH_perf.json, "
     "optional regression gate (--baseline / --compare)",
     "profile": "cProfile one scenario run and print its top-N hotspot table",
+    "daemon": "serve scenario submissions over local HTTP with a persistent "
+    "memo cache and checkpointed, kill-survivable runs",
 }
 
 
@@ -435,14 +517,15 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="directory shard count (1 = single shared directory)",
     )
-    from repro.sim.queues import available_queues
+    from repro.sim.queues import AUTO_QUEUE, available_queues
 
     parser.add_argument(
         "--queue",
         default="heap",
-        choices=available_queues(),
+        choices=[*available_queues(), AUTO_QUEUE],
         help="event-queue backend of the simulation kernel (results are "
-        "identical across backends; 'calendar' wins at very large scales)",
+        "identical across backends; 'auto' picks heap below ~1M standing "
+        "events and calendar above — see docs/PERFORMANCE.md)",
     )
 
 
@@ -523,6 +606,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="runtime assertion mode: check every simulation invariant "
         "(fails loudly on the first breach)",
     )
+    run_parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="write an atomic snapshot of the live run into DIR every "
+        "--checkpoint-interval simulated seconds",
+    )
+    run_parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="virtual seconds between snapshots (default 3600)",
+    )
+    run_parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="resume a checkpointed run from the latest snapshot in DIR and "
+        "continue to completion (byte-identical to an uninterrupted run)",
+    )
 
     profile_parser = subparsers.add_parser(
         "profile", parents=[common], help=_COMMAND_HELP["profile"]
@@ -554,6 +658,50 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=None,
         help="optional system sizes to sweep (crossed with --profiles)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="disk-persistent memo cache: completed points are stored in DIR "
+        "and reused across invocations (share DIR with 'gridfed daemon' to "
+        "share its memoisation)",
+    )
+    sweep_parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="drop every entry in --cache-dir before running",
+    )
+
+    daemon_parser = subparsers.add_parser("daemon", help=_COMMAND_HELP["daemon"])
+    daemon_parser.add_argument(
+        "--state",
+        required=True,
+        metavar="DIR",
+        help="durable state directory (job records, checkpoints, memo cache)",
+    )
+    daemon_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    daemon_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0 = pick a free port; the chosen address is "
+        "printed and written to <state>/daemon.address)",
+    )
+    daemon_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="concurrent runs (1 = in-process; >1 = a process pool)",
+    )
+    daemon_parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="virtual seconds between snapshots of in-flight runs",
     )
 
     from repro.perf import BENCH_SCALES
@@ -601,7 +749,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         output = _COMMANDS[args.command](args)
-    except (UnknownVariantError, ValueError) as exc:
+    except (UnknownVariantError, ValueError, SnapshotError) as exc:
         # Scenario validation and registry lookups raise with messages meant
         # for the user (ranges, known variant keys); show them without a
         # traceback.  Other exceptions (including plain KeyErrors from

@@ -25,7 +25,13 @@ from repro.p2p.directory import FederationDirectory
 from repro.p2p.sharded import create_directory
 from repro.sim.engine import Simulator
 from repro.sim.entity import EntityRegistry
-from repro.sim.queues import QUEUE_REGISTRY, available_queues
+from repro.sim.queues import (
+    AUTO_QUEUE,
+    QUEUE_REGISTRY,
+    available_queues,
+    estimate_standing_events,
+    resolve_queue_name,
+)
 from repro.sim.rng import RandomStreams
 from repro.workload.job import Job, JobStatus, QoSStrategy
 from repro.workload.qos import assign_qos, assign_strategies
@@ -104,10 +110,10 @@ class FederationConfig:
             raise ValueError(
                 f"directory_shards must be at least 1, got {self.directory_shards}"
             )
-        if self.engine not in QUEUE_REGISTRY:
+        if self.engine != AUTO_QUEUE and self.engine not in QUEUE_REGISTRY:
             raise ValueError(
                 f"unknown event-queue backend {self.engine!r}; registered: "
-                f"{', '.join(available_queues())}"
+                f"{', '.join(available_queues())} (or 'auto')"
             )
 
 
@@ -212,7 +218,17 @@ class Federation:
         }
         self.streams = RandomStreams(self.config.seed)
 
-        self.sim = Simulator(queue=self.config.engine)
+        #: Concrete backend in use (``config.engine`` with ``"auto"`` mapped
+        #: through the standing-event heuristic: every job submission is
+        #: scheduled up front, so the expected population is the job count).
+        self.engine: str = resolve_queue_name(
+            self.config.engine,
+            estimate_standing_events(
+                len(self.specs),
+                sum(len(jobs) for jobs in self.workload.values()),
+            ),
+        )
+        self.sim = Simulator(queue=self.engine)
         self.registry = EntityRegistry()
         self.message_log = MessageLog(keep_records=self.config.keep_message_records)
         # The message fabric: every cross-entity interaction rides it.  The
@@ -320,6 +336,18 @@ class Federation:
     # ------------------------------------------------------------------ #
     def run(self) -> FederationResult:
         """Run the simulation to completion and return the collected results."""
+        self.start()
+        self.sim.run()
+        return self.collect()
+
+    def start(self) -> None:
+        """Schedule the initial event population (faults, then submissions).
+
+        Split out of :meth:`run` so the checkpointing driver can start the
+        entities once and then advance the simulation in bounded chunks
+        (``sim.run(until=...)``) with a snapshot between chunks; the split
+        is exact — ``run()`` is ``start(); sim.run(); collect()``.
+        """
         if self._ran:
             raise RuntimeError("a Federation instance can only be run once")
         self._ran = True
@@ -329,8 +357,9 @@ class Federation:
             self._fault_injector.start()
         for population in self.populations.values():
             population.start()
-        self.sim.run()
 
+    def collect(self) -> FederationResult:
+        """Harvest the :class:`FederationResult` after the event queue drained."""
         all_jobs = self._all_jobs
         last_finish = max(
             (job.finish_time for job in all_jobs if job.finish_time is not None),

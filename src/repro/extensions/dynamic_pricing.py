@@ -68,10 +68,15 @@ class DynamicPricingFederation(Federation):
         self._last_enquiries: Dict[str, int] = {spec.name: 0 for spec in specs}
         self.repricings = 0
 
-    def run(self) -> FederationResult:
-        """Run the simulation with periodic repricing enabled."""
+    def start(self) -> None:
+        """Schedule the repricing ticker ahead of the base event population.
+
+        The ticker is scheduled *before* fault and submission events so it
+        keeps the sequence numbers (and therefore same-timestamp delivery
+        order) of the historical ``run()`` override byte-identical.
+        """
         self.sim.schedule(self.repricing_interval, self._reprice)
-        return super().run()
+        super().start()
 
     # ------------------------------------------------------------------ #
     # Repricing

@@ -316,6 +316,69 @@ class SkipListIndex(Generic[K, V]):
         self.total_hops += hops
         self.searches += 1
 
+    # ------------------------------------------------------------------ #
+    # Pickling
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Flatten the node chain for pickling.
+
+        The default pickle walk recurses one frame per linked ``_Node`` and
+        blows the recursion limit at a few hundred entries, so the state is
+        the level-0 sequence of ``(key, value, height)`` triples instead.
+        Heights are preserved exactly: a restored index has the identical
+        tower structure, hence identical hop counts for every future search.
+        The ``rng`` rides along as an object (not a serialized blob) so the
+        pickle memo keeps it shared with any sibling index built on the same
+        generator.
+        """
+        nodes = []
+        node = self._head.forward[0]
+        while node is not None:
+            nodes.append((node.key, node.value, len(node.forward)))
+            node = node.forward[0]
+        return {
+            "probability": self._p,
+            "rng": self._rng,
+            "nodes": nodes,
+            "last_hops": self.last_hops,
+            "total_hops": self.total_hops,
+            "searches": self.searches,
+            "mutations": self.mutations,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        """Rebuild the linked levels iteratively from the flat node list.
+
+        Widths are recomputed from their defining invariant — at every level
+        the width of a link equals the rank distance to the next node on that
+        level (rank ``size + 1`` for the trailing link to ``None``) — which
+        is exactly what incremental insert/remove maintain.
+        """
+        self._p = state["probability"]
+        self._rng = state["rng"]
+        self.last_hops = state["last_hops"]
+        self.total_hops = state["total_hops"]
+        self.searches = state["searches"]
+        self.mutations = state["mutations"]
+        nodes = state["nodes"]
+        level = max([height for _, _, height in nodes], default=1)
+        self._level = level
+        self._size = size = len(nodes)
+        self._head = head = _Node(
+            key=None, value=None, forward=[None] * level, width=[0] * level
+        )
+        tail: List[_Node] = [head] * level
+        tail_rank = [0] * level
+        for rank, (key, value, height) in enumerate(nodes, start=1):
+            node = _Node(key, value, [None] * height, [0] * height)
+            for lvl in range(height):
+                tail[lvl].forward[lvl] = node
+                tail[lvl].width[lvl] = rank - tail_rank[lvl]
+                tail[lvl] = node
+                tail_rank[lvl] = rank
+        for lvl in range(level):
+            tail[lvl].width[lvl] = size + 1 - tail_rank[lvl]
+
     def _random_level(self) -> int:
         level = 1
         while self._rng.random() < self._p and level < _MAX_LEVEL:

@@ -134,6 +134,9 @@ def run_scenario(
     workload: Optional[Mapping[str, Sequence[Job]]] = None,
     fault_plan: Optional["FaultPlan"] = None,
     validate: bool = False,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: Optional[float] = None,
+    on_progress=None,
 ) -> FederationResult:
     """Build and run the federation a scenario describes.
 
@@ -158,6 +161,15 @@ def run_scenario(
         simulation invariants after every fault event and validates the full
         result before returning (raising
         :class:`~repro.validate.InvariantViolation` on any breach).
+    checkpoint_dir, checkpoint_every, on_progress:
+        When any is set the run is driven through
+        :func:`repro.service.checkpoint.run_checkpointed`: the simulation
+        advances in bounded virtual-time chunks, writing an atomic snapshot
+        into ``checkpoint_dir`` every ``checkpoint_every`` seconds (from
+        which ``gridfed run --resume`` continues byte-identically) and
+        reporting a :class:`~repro.service.checkpoint.RunProgress` to
+        ``on_progress`` after every chunk.  The chunking never changes the
+        result: fingerprints match the plain path exactly.
     """
     if (specs is None) != (workload is None):
         raise ValueError("pass both specs and workload, or neither")
@@ -182,6 +194,18 @@ def run_scenario(
         federation.install_faults(plan)
     if validate:
         federation.install_validator()
+    if checkpoint_dir is not None or checkpoint_every is not None or on_progress is not None:
+        # Imported lazily: repro.service sits above this module in the layer
+        # stack, and the plain path must not pay for it.
+        from repro.service.checkpoint import run_checkpointed
+
+        return run_checkpointed(
+            federation,
+            scenario,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            on_progress=on_progress,
+        )
     return federation.run()
 
 
@@ -251,6 +275,12 @@ class SweepRunner:
     cache:
         Optional pre-seeded mapping from point key to result; pass a shared
         dict to memoise across runner instances.
+    cache_dir:
+        Directory for a disk-persistent memo cache
+        (:class:`~repro.service.cache.PersistentResultCache`): completed
+        points survive process restarts, and pointing this at a
+        ``gridfed daemon``'s ``<state>/cache`` directory shares memoisation
+        with the daemon.  Mutually exclusive with ``cache``.
 
     Examples
     --------
@@ -267,10 +297,17 @@ class SweepRunner:
         self,
         workers: Optional[int] = None,
         cache: Optional[Dict[str, FederationResult]] = None,
+        cache_dir: Optional[str] = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass cache or cache_dir, not both")
         self.workers = workers
+        if cache_dir is not None:
+            from repro.service.cache import PersistentResultCache
+
+            cache = PersistentResultCache(cache_dir)
         self._cache: Dict[str, FederationResult] = {} if cache is None else cache
         #: Number of points actually executed (not served from cache).
         self.executed_points = 0

@@ -28,7 +28,7 @@ from repro.cluster.lrms import SchedulingPolicy
 from repro.core.federation import FederationConfig
 from repro.core.policies import SharingMode
 from repro.net.topology import TOPOLOGY_REGISTRY, available_topologies, canonical_topology
-from repro.sim.queues import QUEUE_REGISTRY, available_queues
+from repro.sim.queues import AUTO_QUEUE, QUEUE_REGISTRY, available_queues
 from repro.scenario.registry import (
     AGENT_REGISTRY,
     FAULT_REGISTRY,
@@ -98,12 +98,13 @@ class Scenario:
         rank queries over more shards run scatter-gather merge sessions).
     engine:
         Event-queue backend of the simulation kernel (``"heap"`` or
-        ``"calendar"``, or anything registered via
-        :func:`repro.sim.register_queue`).  All backends deliver the
-        identical ``(time, priority, seq)`` event order — result
-        fingerprints are byte-identical across backends — so this selects
-        wall-clock behaviour only: the calendar queue wins once the pending
-        event population is very large (see docs/PERFORMANCE.md).
+        ``"calendar"``, anything registered via
+        :func:`repro.sim.register_queue`, or ``"auto"`` to pick from the
+        expected standing-event population — heap below the ~1M-event
+        cutover, calendar above).  All backends deliver the identical
+        ``(time, priority, seq)`` event order — result fingerprints are
+        byte-identical across backends — so this selects wall-clock
+        behaviour only (see docs/PERFORMANCE.md).
     """
 
     mode: SharingMode = SharingMode.ECONOMY
@@ -162,10 +163,10 @@ class Scenario:
                 f"unknown transport topology {self.transport!r}; registered: "
                 f"{', '.join(available_topologies())}"
             )
-        if self.engine not in QUEUE_REGISTRY:
+        if self.engine != AUTO_QUEUE and self.engine not in QUEUE_REGISTRY:
             raise ValueError(
                 f"unknown event-queue backend {self.engine!r}; registered: "
-                f"{', '.join(available_queues())}"
+                f"{', '.join(available_queues())} (or 'auto')"
             )
         # Aliases normalise to their canonical key so "wan" and
         # "two-tier-wan" hash (and memoise, and describe) identically.

@@ -1,0 +1,163 @@
+"""A thin stdlib HTTP client for the ``gridfed daemon`` endpoints.
+
+:class:`DaemonClient` wraps :mod:`urllib.request` — no third-party HTTP
+stack — and speaks the JSON protocol documented in
+:mod:`repro.service.daemon`: submit a scenario, poll or stream its
+progress, fetch the result summary, cancel, and shut the daemon down.
+``examples/daemon_client.py`` shows the full round trip.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterator, Optional, Union
+from urllib import error, request
+
+from repro.scenario.scenario import Scenario
+
+__all__ = ["DaemonError", "DaemonClient"]
+
+
+class DaemonError(RuntimeError):
+    """An error response from the daemon (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"daemon returned {status}: {message}")
+        self.status = status
+
+
+class DaemonClient:
+    """Client for one running ``gridfed daemon``.
+
+    Parameters
+    ----------
+    base_url:
+        The daemon's address, e.g. ``"http://127.0.0.1:8414"`` (printed by
+        ``gridfed daemon`` on startup; also ``GridfedDaemon.address``).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with request.urlopen(req, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except (ValueError, OSError):
+                message = exc.reason
+            raise DaemonError(exc.code, str(message)) from None
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, object]:
+        """Liveness probe: worker count plus per-status job counts."""
+        return self._request("GET", "/health")
+
+    def jobs(self) -> list:
+        """Every submission record the daemon knows about."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def submit(
+        self,
+        scenario: Union[Scenario, Dict[str, object]],
+        checkpoint_interval: Optional[float] = None,
+    ) -> str:
+        """Submit a scenario; returns the submission id.
+
+        A scenario already memoised in the daemon's persistent cache
+        completes within this call (its record comes back ``completed`` with
+        ``cached: true``).
+        """
+        if isinstance(scenario, Scenario):
+            from repro.service.daemon import scenario_to_fields
+
+            fields: Dict[str, object] = scenario_to_fields(scenario)
+        else:
+            fields = dict(scenario)
+        payload: Dict[str, object] = {"scenario": fields}
+        if checkpoint_interval is not None:
+            payload["checkpoint_interval"] = checkpoint_interval
+        record = self._request("POST", "/jobs", payload)
+        return str(record["id"])
+
+    def status(self, sid: str) -> Dict[str, object]:
+        """The submission record, including the latest progress snapshot."""
+        return self._request("GET", f"/jobs/{sid}")
+
+    def result(self, sid: str) -> Dict[str, object]:
+        """The result summary of a completed submission (409 until then)."""
+        return self._request("GET", f"/jobs/{sid}/result")["result"]
+
+    def cancel(self, sid: str) -> Dict[str, object]:
+        """Request cooperative cancellation; returns the updated record."""
+        return self._request("POST", f"/jobs/{sid}/cancel")
+
+    def shutdown(self) -> None:
+        """Ask the daemon to shut down cleanly (in-flight runs requeue)."""
+        try:
+            self._request("POST", "/shutdown")
+        except (error.URLError, ConnectionError, OSError):
+            pass  # the daemon may die before finishing the response
+
+    # ------------------------------------------------------------------ #
+    # Conveniences
+    # ------------------------------------------------------------------ #
+    def wait(
+        self, sid: str, timeout: float = 300.0, poll: float = 0.2
+    ) -> Dict[str, object]:
+        """Poll until the submission reaches a terminal state; return it."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(sid)
+            if record.get("status") in ("completed", "failed", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"submission {sid} still {record.get('status')} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def stream_progress(self, sid: str) -> Iterator[Dict[str, object]]:
+        """Yield streamed progress observations until the run terminates.
+
+        Each item is ``{"id", "status", "progress"}``; the last one has a
+        terminal status.
+        """
+        req = request.Request(
+            self.base_url + f"/jobs/{sid}/progress?stream=1",
+            headers={"Accept": "application/x-ndjson"},
+        )
+        try:
+            with request.urlopen(req, timeout=self.timeout) as response:
+                for line in response:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+        except error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except (ValueError, OSError):
+                message = exc.reason
+            raise DaemonError(exc.code, str(message)) from None

@@ -1,0 +1,266 @@
+"""Versioned, atomic snapshots of a live federation simulation.
+
+A snapshot captures *everything* a run needs to continue byte-identically:
+the :class:`~repro.sim.engine.Simulator` clock, sequence counter and pending
+event queue (either backend), every entity (GFAs, LRMS queues, directory or
+sharded directory, GridBank, MessageLog, transport state, fault-injector
+state), every named RNG stream, and the global job/event id counters that
+mid-run fault events consume.  The capture is a whole-object-graph pickle of
+the :class:`~repro.core.federation.Federation`: all scheduled callbacks are
+bound methods of entities inside that graph, so the pickle memo preserves
+every shared reference (e.g. the directory indexes' shared level generator)
+and a restored federation is indistinguishable from the original.
+
+File format (version :data:`SNAPSHOT_FORMAT_VERSION`)::
+
+    magic line        b"gridfed-snapshot\\n"
+    header length     4 bytes, big endian
+    header            JSON (format version, scenario hash, engine, clock, ...)
+    payload           pickle (federation, scenario, global counters)
+
+The JSON header is readable without unpickling anything, so compatibility
+guards (format version, scenario hash, queue backend) fail fast *before* any
+code from the payload runs, and status tooling can report progress without
+paying the unpickle cost.
+
+Writes are atomic: the bytes go to a temporary file in the target directory
+which is fsynced and then ``os.replace``-d over the destination, so a reader
+(or a resume after SIGKILL) only ever sees a complete snapshot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import os
+import pickle
+import tempfile
+from typing import Optional, Tuple
+
+from repro.core.federation import Federation
+from repro.scenario.scenario import Scenario
+from repro.sim.events import event_counter_state, restore_event_counter
+from repro.workload.job import JobStatus, job_counter_state, restore_job_counter
+
+__all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotError",
+    "SnapshotMismatchError",
+    "SnapshotHeader",
+    "write_snapshot",
+    "read_header",
+    "load_snapshot",
+]
+
+#: Bump when the snapshot layout or the pickled object graph changes shape
+#: incompatibly; resuming across versions fails fast instead of corrupting.
+SNAPSHOT_FORMAT_VERSION = 1
+
+_MAGIC = b"gridfed-snapshot\n"
+
+
+class SnapshotError(RuntimeError):
+    """Raised when a snapshot cannot be written, read or parsed."""
+
+
+class SnapshotMismatchError(SnapshotError):
+    """Raised when a snapshot is valid but incompatible with the resume.
+
+    Covers the three refusal cases: different snapshot format version,
+    different scenario hash, and different queue backend.  The message always
+    says which side is which and what to do about it.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class SnapshotHeader:
+    """The JSON-readable prefix of a snapshot file."""
+
+    format_version: int
+    scenario_hash: str
+    scenario_summary: str
+    engine: str
+    sim_time: float
+    events_processed: int
+    pending_events: int
+    jobs_total: int
+    jobs_completed: int
+    horizon: float
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the virtual-time horizon covered (clamped to [0, 1])."""
+        if self.horizon <= 0:
+            return 0.0
+        return max(0.0, min(self.sim_time / self.horizon, 1.0))
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, blob: str) -> "SnapshotHeader":
+        try:
+            fields = json.loads(blob)
+            return cls(**fields)
+        except (ValueError, TypeError) as exc:
+            raise SnapshotError(f"corrupt snapshot header: {exc}") from None
+
+
+def _build_header(federation: Federation, scenario: Scenario) -> SnapshotHeader:
+    jobs = federation._all_jobs
+    completed = sum(1 for job in jobs if job.status is JobStatus.COMPLETED)
+    return SnapshotHeader(
+        format_version=SNAPSHOT_FORMAT_VERSION,
+        scenario_hash=scenario.scenario_hash(),
+        scenario_summary=scenario.describe(),
+        engine=federation.sim.queue_name,
+        sim_time=federation.sim.now,
+        events_processed=federation.sim.events_processed,
+        pending_events=federation.sim.pending,
+        jobs_total=len(jobs),
+        jobs_completed=completed,
+        horizon=federation.config.horizon,
+    )
+
+
+def write_snapshot(
+    path: str | os.PathLike, federation: Federation, scenario: Scenario
+) -> SnapshotHeader:
+    """Atomically write a snapshot of a paused (between-events) federation.
+
+    The temporary file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem rename; a crash at any point leaves
+    either the previous snapshot or the new one, never a torn file.
+    """
+    path = os.fspath(path)
+    header = _build_header(federation, scenario)
+    payload = {
+        "federation": federation,
+        "scenario": scenario,
+        "job_counter": job_counter_state(),
+        "event_counter": event_counter_state(),
+    }
+    buffer = io.BytesIO()
+    buffer.write(_MAGIC)
+    header_bytes = header.to_json().encode("utf-8")
+    buffer.write(len(header_bytes).to_bytes(4, "big"))
+    buffer.write(header_bytes)
+    pickle.dump(payload, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".snapshot-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(buffer.getvalue())
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return header
+
+
+def _read_preamble(handle) -> SnapshotHeader:
+    magic = handle.read(len(_MAGIC))
+    if magic != _MAGIC:
+        raise SnapshotError(
+            "not a gridfed snapshot (bad magic); expected a file written by "
+            "write_snapshot / 'gridfed run --checkpoint'"
+        )
+    raw_length = handle.read(4)
+    if len(raw_length) != 4:
+        raise SnapshotError("truncated snapshot (header length missing)")
+    length = int.from_bytes(raw_length, "big")
+    header_bytes = handle.read(length)
+    if len(header_bytes) != length:
+        raise SnapshotError("truncated snapshot (incomplete header)")
+    return SnapshotHeader.from_json(header_bytes.decode("utf-8"))
+
+
+def read_header(path: str | os.PathLike) -> SnapshotHeader:
+    """Read only the JSON header of a snapshot (no unpickling)."""
+    try:
+        with open(path, "rb") as handle:
+            return _read_preamble(handle)
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {os.fspath(path)!r}: {exc}") from None
+
+
+def verify_compatible(
+    header: SnapshotHeader,
+    *,
+    expected_scenario: Optional[Scenario] = None,
+    expected_engine: Optional[str] = None,
+) -> None:
+    """Refuse mismatched resumes *before* the payload is unpickled.
+
+    Raises :class:`SnapshotMismatchError` with an actionable message on a
+    format-version, scenario-hash or queue-backend mismatch.
+    """
+    if header.format_version != SNAPSHOT_FORMAT_VERSION:
+        raise SnapshotMismatchError(
+            f"snapshot format version {header.format_version} is not supported "
+            f"by this build (which reads version {SNAPSHOT_FORMAT_VERSION}); "
+            "re-run the original scenario from scratch with the current code, "
+            "or resume with the gridfed version that wrote the snapshot"
+        )
+    if expected_scenario is not None:
+        expected_hash = expected_scenario.scenario_hash()
+        if expected_hash != header.scenario_hash:
+            raise SnapshotMismatchError(
+                "scenario mismatch: the snapshot was taken for scenario "
+                f"{header.scenario_hash[:12]}… ({header.scenario_summary}) but "
+                f"the resume requested {expected_hash[:12]}… "
+                f"({expected_scenario.describe()}); resume without overriding "
+                "scenario options, or start a fresh run for the new scenario"
+            )
+    if expected_engine is not None and expected_engine != header.engine:
+        raise SnapshotMismatchError(
+            f"queue backend mismatch: the snapshot was taken under the "
+            f"{header.engine!r} event queue but the resume requested "
+            f"{expected_engine!r}; a queue backend cannot change mid-run — "
+            f"pass --queue {header.engine} (or drop the flag) to resume"
+        )
+
+
+def load_snapshot(
+    path: str | os.PathLike,
+    *,
+    expected_scenario: Optional[Scenario] = None,
+    expected_engine: Optional[str] = None,
+    restore_counters: bool = True,
+) -> Tuple[SnapshotHeader, Federation, Scenario]:
+    """Load a snapshot, verify compatibility, and restore global counters.
+
+    ``restore_counters=False`` skips re-installing the global job/event id
+    counters — useful for read-only inspection of a snapshot while another
+    run is in flight in the same process.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as handle:
+            header = _read_preamble(handle)
+            verify_compatible(
+                header,
+                expected_scenario=expected_scenario,
+                expected_engine=expected_engine,
+            )
+            try:
+                payload = pickle.load(handle)
+            except Exception as exc:
+                raise SnapshotError(
+                    f"corrupt snapshot payload in {path!r}: {exc}"
+                ) from None
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path!r}: {exc}") from None
+    federation = payload["federation"]
+    scenario = payload["scenario"]
+    if restore_counters:
+        restore_job_counter(payload["job_counter"])
+        restore_event_counter(payload["event_counter"])
+    return header, federation, scenario

@@ -407,6 +407,29 @@ class Simulator:
         self._stopped = True
 
     # ------------------------------------------------------------------ #
+    # Pickling (checkpoint/resume support)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Snapshot the simulator without its transient accelerators.
+
+        The handle pool holds dead, payload-stripped handles — recycling is
+        behaviourally invisible, so a restored simulator simply starts with
+        an empty pool.  The trace hook is a debugging callable that may not
+        pickle (and a resumed run attaches its own); it is dropped likewise.
+        A simulator cannot be snapshotted mid-``run()``: the checkpoint
+        driver only pickles between events, where ``_running`` is False.
+        """
+        if self._running:
+            raise SimulationError("cannot pickle a simulator while it is running")
+        state = self.__dict__.copy()
+        state["_pool"] = []
+        state["_trace"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
     def _peek(self) -> Optional[ScheduledEvent]:

@@ -48,6 +48,24 @@ class EventType(enum.Enum):
 _event_ids = itertools.count(1)
 
 
+def event_counter_state() -> int:
+    """The next event id the counter would hand out (checkpoint support).
+
+    Reading the state is transparent: the probed value is re-installed as
+    the next one, so interleaved reads never perturb the id sequence.
+    """
+    global _event_ids
+    value = next(_event_ids)
+    _event_ids = itertools.count(value)
+    return value
+
+
+def restore_event_counter(next_id: int) -> None:
+    """Restore the global event-id counter to a snapshotted state."""
+    global _event_ids
+    _event_ids = itertools.count(next_id)
+
+
 @dataclass
 class Event:
     """A timestamped message between two entities.

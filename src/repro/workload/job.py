@@ -231,3 +231,23 @@ def reset_job_counter() -> None:
     """Reset the global job-id counter (used by tests for determinism)."""
     global _job_counter
     _job_counter = itertools.count(1)
+
+
+def job_counter_state() -> int:
+    """The next job id the counter would hand out (checkpoint support).
+
+    Fault plans create jobs mid-run (load spikes), so a resumed simulation
+    must continue the id sequence exactly where the snapshot left it or
+    spiked jobs would collide with ids already in flight.  Reading the state
+    is transparent: the probed value is re-installed as the next one.
+    """
+    global _job_counter
+    value = next(_job_counter)
+    _job_counter = itertools.count(value)
+    return value
+
+
+def restore_job_counter(next_id: int) -> None:
+    """Restore the global job-id counter to a snapshotted state."""
+    global _job_counter
+    _job_counter = itertools.count(next_id)

@@ -1,0 +1,122 @@
+"""The ``auto`` event-queue selection heuristic and its wiring.
+
+Profiling (docs/PERFORMANCE.md) shows the calendar queue *loses* to the
+binary heap below roughly a million standing events (~129k vs ~218k
+events/s at the default scale) and only wins above the cutover, so
+``--queue auto`` picks the heap for ordinary runs and the calendar queue
+for very large federations — without the user having to know any of this.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.federation import FederationConfig
+from repro.scenario import Scenario, result_fingerprint, run_scenario
+from repro.sim.queues import (
+    AUTO_QUEUE,
+    CALENDAR_CUTOVER_EVENTS,
+    DEFAULT_QUEUE,
+    estimate_standing_events,
+    recommend_queue,
+    resolve_queue_name,
+)
+
+
+class TestHeuristic:
+    def test_small_populations_recommend_heap(self):
+        assert recommend_queue(0) == "heap"
+        assert recommend_queue(10_000) == "heap"
+        assert recommend_queue(CALENDAR_CUTOVER_EVENTS - 1) == "heap"
+
+    def test_large_populations_recommend_calendar(self):
+        assert recommend_queue(CALENDAR_CUTOVER_EVENTS) == "calendar"
+        assert recommend_queue(10 * CALENDAR_CUTOVER_EVENTS) == "calendar"
+
+    def test_estimate_scales_with_jobs_and_resources(self):
+        small = estimate_standing_events(8, 1_000)
+        large = estimate_standing_events(1024, 2_000_000)
+        assert small < CALENDAR_CUTOVER_EVENTS
+        assert large >= CALENDAR_CUTOVER_EVENTS
+        assert estimate_standing_events(0, 0) == 0
+
+    def test_resolve_passes_concrete_names_through(self):
+        assert resolve_queue_name("heap", 10**9) == "heap"
+        assert resolve_queue_name("calendar", 0) == "calendar"
+
+    def test_resolve_auto_uses_estimate(self):
+        assert resolve_queue_name(AUTO_QUEUE, 10) == "heap"
+        assert resolve_queue_name(AUTO_QUEUE, 2 * CALENDAR_CUTOVER_EVENTS) == "calendar"
+        # No estimate available: fall back to the default backend.
+        assert resolve_queue_name(AUTO_QUEUE, None) == DEFAULT_QUEUE
+
+
+class TestScenarioWiring:
+    def test_scenario_accepts_auto(self):
+        scenario = Scenario(engine=AUTO_QUEUE)
+        assert scenario.engine == AUTO_QUEUE
+
+    def test_auto_hashes_distinct_from_concrete(self):
+        assert Scenario(engine="auto").scenario_hash() != Scenario(engine="heap").scenario_hash()
+
+    def test_unknown_engine_still_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(engine="splay")
+        with pytest.raises(ValueError):
+            FederationConfig(engine="splay")
+
+    def test_config_accepts_auto(self):
+        assert FederationConfig(engine=AUTO_QUEUE).engine == AUTO_QUEUE
+
+    def test_auto_run_matches_heap_at_default_scale(self):
+        """At golden scale auto must resolve to heap — and in any case the
+        fingerprint is backend-invariant, so results are identical."""
+        base = Scenario(workload="synthetic", horizon=4 * 3600.0, thin=20, seed=7)
+        auto = base.replace(engine=AUTO_QUEUE)
+        assert result_fingerprint(run_scenario(auto)) == result_fingerprint(
+            run_scenario(base)
+        )
+
+    def test_federation_resolves_auto_before_building_kernel(self):
+        from repro.scenario.registry import PRICING_REGISTRY, AGENT_REGISTRY, WORKLOAD_REGISTRY
+        from repro.scenario.runner import resolve_resources
+        from repro.sim.rng import RandomStreams
+        from repro.workload.archive import build_federation_specs, thin_workload
+        from repro.workload.job import reset_job_counter
+
+        scenario = Scenario(
+            workload="synthetic", horizon=4 * 3600.0, thin=20, seed=7, engine=AUTO_QUEUE
+        )
+        archive = resolve_resources(scenario, None)
+        specs = build_federation_specs(archive)
+        reset_job_counter()
+        workload = thin_workload(
+            WORKLOAD_REGISTRY.get(scenario.workload)(
+                scenario, RandomStreams(scenario.seed), archive
+            ),
+            scenario.thin,
+        )
+        federation = PRICING_REGISTRY.get(scenario.pricing)(
+            scenario, specs, workload, scenario.to_config(), AGENT_REGISTRY.get(scenario.agent)
+        )
+        # The config keeps the symbolic name; the live kernel is concrete.
+        assert federation.config.engine == AUTO_QUEUE
+        assert federation.engine == "heap"
+        assert federation.sim.queue_name == "heap"
+
+
+class TestCLI:
+    def test_run_accepts_auto(self, capsys):
+        assert main(["run", "--thin", "30", "--queue", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "engine=auto" in out
+        assert "fingerprint=" in out
+
+    def test_auto_matches_heap_through_the_cli(self, capsys):
+        assert main(["run", "--thin", "30", "--queue", "auto"]) == 0
+        auto_out = capsys.readouterr().out
+        assert main(["run", "--thin", "30"]) == 0
+        heap_out = capsys.readouterr().out
+        fp = lambda text: text.rsplit("fingerprint=", 1)[1].split()[0]
+        assert fp(auto_out) == fp(heap_out)

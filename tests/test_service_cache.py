@@ -1,0 +1,144 @@
+"""The disk-persistent sweep/daemon memo cache and its eviction rules."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.scenario import Scenario, SweepRunner, result_fingerprint
+from repro.service.cache import CACHE_FORMAT_VERSION, PersistentResultCache
+
+_KEY = "ab12" * 16  # a plausible 64-hex scenario hash
+_KEY2 = "cd34" * 16
+
+
+class TestMappingContract:
+    def test_round_trip_and_persistence(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        cache[_KEY] = {"answer": 42}
+        assert cache[_KEY] == {"answer": 42}
+        assert _KEY in cache
+        assert len(cache) == 1
+        # A fresh instance over the same directory sees the entry.
+        again = PersistentResultCache(tmp_path)
+        assert again[_KEY] == {"answer": 42}
+        assert list(again) == [_KEY]
+
+    def test_suffixed_point_keys(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        suffixed = _KEY + ":" + "0f" * 8
+        cache[suffixed] = "resource-subset result"
+        assert cache[suffixed] == "resource-subset result"
+        assert sorted(cache) == [suffixed]
+
+    def test_miss_and_delete(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        assert _KEY not in cache
+        with pytest.raises(KeyError):
+            cache[_KEY]
+        cache[_KEY] = 1
+        del cache[_KEY]
+        assert _KEY not in cache
+        with pytest.raises(KeyError):
+            del cache[_KEY]
+
+    def test_hostile_key_never_touches_disk(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        with pytest.raises(KeyError):
+            cache["../../etc/passwd"]
+        with pytest.raises(KeyError):
+            cache["UPPER"]
+        assert list(tmp_path.iterdir()) == []
+
+    def test_clear(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        cache[_KEY] = 1
+        cache[_KEY2] = 2
+        cache.clear()
+        assert len(cache) == 0
+        assert _KEY not in cache
+
+
+class TestEviction:
+    def test_corrupt_entry_evicted_on_read(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        cache[_KEY] = "good"
+        path = tmp_path / (_KEY + ".result.pkl")
+        path.write_bytes(b"torn write, not a pickle")
+        assert _KEY not in cache  # membership goes through the guarded read
+        assert not path.exists(), "corrupt entry must be deleted"
+        assert cache.evictions == 1
+
+    def test_stale_version_evicted_on_read(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        path = tmp_path / (_KEY + ".result.pkl")
+        wrapper = {"version": CACHE_FORMAT_VERSION - 1, "key": _KEY, "result": 1}
+        path.write_bytes(pickle.dumps(wrapper))
+        with pytest.raises(KeyError):
+            cache[_KEY]
+        assert not path.exists()
+        assert cache.evictions == 1
+
+    def test_miskeyed_entry_evicted_on_read(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        cache[_KEY] = "original"
+        # Simulate a hand-renamed file: contents claim _KEY, name says _KEY2.
+        (tmp_path / (_KEY + ".result.pkl")).rename(tmp_path / (_KEY2 + ".result.pkl"))
+        with pytest.raises(KeyError):
+            cache[_KEY2]
+        assert cache.evictions == 1
+        assert len(cache) == 0
+
+    def test_eviction_heals_through_rewrite(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        path = tmp_path / (_KEY + ".result.pkl")
+        path.write_bytes(b"garbage")
+        assert _KEY not in cache
+        cache[_KEY] = "healed"
+        assert cache[_KEY] == "healed"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        for i in range(5):
+            cache[_KEY] = i
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".cache-")]
+        assert leftovers == []
+
+
+class TestSweepRunnerIntegration:
+    _SCENARIO = Scenario(workload="synthetic", horizon=4 * 3600.0, thin=20, seed=7)
+
+    def test_cache_dir_memoises_across_runner_instances(self, tmp_path):
+        first = SweepRunner(cache_dir=tmp_path)
+        sweep1 = first.run([self._SCENARIO])
+        assert first.executed_points == 1
+
+        second = SweepRunner(cache_dir=tmp_path)
+        sweep2 = second.run([self._SCENARIO])
+        assert second.executed_points == 0, "persistent cache was not reused"
+        assert result_fingerprint(sweep1[0].result) == result_fingerprint(
+            sweep2[0].result
+        )
+
+    def test_corrupt_cache_entry_re_executes(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        runner.run([self._SCENARIO])
+        entries = list(tmp_path.glob("*.result.pkl"))
+        assert len(entries) == 1
+        entries[0].write_bytes(b"bitrot")
+        again = SweepRunner(cache_dir=tmp_path)
+        sweep = again.run([self._SCENARIO])
+        assert again.executed_points == 1, "corrupt entry must not be served"
+        assert len(sweep) == 1
+
+    def test_clear_cache_drops_disk_entries(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        runner.run([self._SCENARIO])
+        assert list(tmp_path.glob("*.result.pkl"))
+        runner.clear_cache()
+        assert not list(tmp_path.glob("*.result.pkl"))
+
+    def test_cache_and_cache_dir_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ValueError):
+            SweepRunner(cache={}, cache_dir=tmp_path)

@@ -1,0 +1,194 @@
+"""Hypothesis round-trip properties for the snapshot building blocks.
+
+The snapshot machinery is only as good as the pickle fidelity of its most
+stateful pieces: the named RNG streams and the event-queue backends.  These
+properties assert *behavioural* identity, not just structural equality — a
+restored object must produce the exact same future (draw sequences, pop
+sequences) as the original, including a calendar queue that has resized and
+is carrying lazily-cancelled corpses when the snapshot is taken.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import ScheduledEvent, Simulator
+from repro.sim.queues import available_queues, create_queue
+from repro.sim.rng import RandomStreams
+
+BACKENDS = available_queues()
+
+
+def _noop() -> None:
+    """Module-level no-op callback: picklable, unlike a lambda."""
+
+_STREAM_KEYS = st.sampled_from(
+    ["workload", "strategy", "directory", "faults", "pricing", "net"]
+)
+
+
+def _roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class TestRandomStreamsRoundTrip:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        warmup=st.lists(st.tuples(_STREAM_KEYS, st.integers(1, 20)), max_size=8),
+        probes=st.lists(st.tuples(_STREAM_KEYS, st.integers(1, 20)), min_size=1, max_size=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mid_run_streams_resume_identically(self, seed, warmup, probes):
+        """Draw arbitrarily, snapshot, then both sides must agree forever."""
+        streams = RandomStreams(seed)
+        for key, n in warmup:
+            streams.get(key).random(n)
+        clone = _roundtrip(streams)
+        for key, n in probes:
+            original = streams.get(key).random(n).tolist()
+            restored = clone.get(key).random(n).tolist()
+            assert original == restored
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_unused_streams_still_match_after_restore(self, seed):
+        """A stream first opened *after* the snapshot draws identically."""
+        streams = RandomStreams(seed)
+        streams.get("workload").random(5)
+        clone = _roundtrip(streams)
+        assert (
+            streams.get("never-opened").random(4).tolist()
+            == clone.get("never-opened").random(4).tolist()
+        )
+
+
+def _drain(queue):
+    popped = []
+    while len(queue) > 0:
+        popped.append(queue.pop())
+    return popped
+
+
+_EVENT_LISTS = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+        st.integers(min_value=0, max_value=3),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestEventQueueRoundTrip:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(
+        events=_EVENT_LISTS,
+        pops=st.integers(min_value=0, max_value=30),
+        cancels=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mid_run_queue_resumes_identically(self, backend, events, pops, cancels):
+        """Push, pop some, lazily cancel some, pickle: identical pops after."""
+        queue = create_queue(backend)
+        handles = []
+        for seq, (time, priority) in enumerate(events):
+            event = ScheduledEvent(time, priority, seq, _noop)
+            queue.push(event)
+            handles.append(event)
+        for _ in range(min(pops, len(queue) - 1)):
+            queue.pop()
+        # Cancel a random subset of the not-yet-popped events; some backends
+        # delete eagerly, some leave corpses — both must pickle faithfully.
+        pending = [h for h in handles if not h.cancelled and h._queued]
+        if pending:
+            victims = cancels.draw(
+                st.lists(st.sampled_from(pending), max_size=len(pending), unique=True)
+            )
+            for victim in victims:
+                victim.cancelled = True
+                queue.discard(victim)
+        clone = _roundtrip(queue)
+        assert len(clone) == len(queue)
+        original = [(e.time, e.priority, e.seq) for e in _drain(queue) if not e.cancelled]
+        restored = [(e.time, e.priority, e.seq) for e in _drain(clone) if not e.cancelled]
+        assert original == restored
+
+    def test_resized_calendar_with_corpses_round_trips(self):
+        """Deterministic worst case: force bucket resizes, leave cancelled
+        corpses behind the cursor, then pickle mid-drain."""
+        queue = create_queue("calendar")
+        events = []
+        for seq in range(4000):  # enough to trigger multiple grows
+            event = ScheduledEvent(float(seq % 977) * 1.7, seq % 3, seq, _noop)
+            queue.push(event)
+            events.append(event)
+        for _ in range(500):
+            queue.pop()
+        for event in events[::7]:
+            if event._queued and not event.cancelled:
+                event.cancelled = True
+                queue.discard(event)
+        before = len(queue)
+        clone = _roundtrip(queue)
+        assert len(clone) == before
+        original = [(e.time, e.priority, e.seq) for e in _drain(queue) if not e.cancelled]
+        restored = [(e.time, e.priority, e.seq) for e in _drain(clone) if not e.cancelled]
+        assert original == restored
+
+    def test_shrinking_calendar_round_trips(self):
+        """Drain far enough to trigger shrink resizes before pickling."""
+        queue = create_queue("calendar")
+        for seq in range(3000):
+            queue.push(ScheduledEvent(float(seq) * 0.25, 0, seq, _noop))
+        for _ in range(2800):  # forces shrink passes
+            queue.pop()
+        clone = _roundtrip(queue)
+        assert [(e.time, e.seq) for e in _drain(queue)] == [
+            (e.time, e.seq) for e in _drain(clone)
+        ]
+
+
+class _Recorder:
+    """Module-level so the bound `record` callback pickles with the sim."""
+
+    def __init__(self):
+        self.calls = []
+
+    def record(self, value):
+        self.calls.append(value)
+
+
+class TestSimulatorRoundTrip:
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.1, max_value=900.0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        boundary=st.floats(min_value=0.0, max_value=900.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mid_run_simulator_fires_identical_tail(self, times, boundary):
+        """Run to a boundary, snapshot the (sim, recorder) graph — exactly
+        what a federation snapshot does — and both sides must fire the same
+        remaining callbacks, in order, to the same final clock."""
+        recorder = _Recorder()
+        sim = Simulator()
+        for delay in times:
+            sim.schedule(delay, recorder.record, round(delay, 6))
+        sim.run(until=boundary)
+        # Pickling the pair keeps the sharing: the cloned sim's callbacks
+        # append into the cloned recorder we hold.
+        blob = pickle.dumps((sim, recorder), protocol=pickle.HIGHEST_PROTOCOL)
+
+        sim.run()
+        clone, clone_recorder = pickle.loads(blob)
+        clone.run()
+        assert clone_recorder.calls == recorder.calls
+        assert clone.now == sim.now
+        assert clone.events_processed == sim.events_processed
+        assert clone.pending == 0
