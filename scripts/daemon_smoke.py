@@ -5,7 +5,11 @@ Starts a ``GridfedDaemon`` on an ephemeral port, then — through the HTTP API
 only — submits three reduced-scale scenarios, polls them to completion,
 fetches their result summaries, verifies that a duplicate submission is
 served instantly from the persistent result cache, and shuts the daemon
-down cleanly. Exits non-zero on any failure.
+down cleanly.  A second phase exercises backpressure end to end: a
+``max_pending=1`` daemon is saturated, the overflow submission is refused
+with 429 + ``Retry-After``, and a patient client backs off through the 429
+window until the slot frees and its submission completes.  Exits non-zero
+on any failure.
 
 Usage::
 
@@ -16,10 +20,11 @@ from __future__ import annotations
 
 import sys
 import tempfile
+import threading
 import time
 
 from repro.scenario import Scenario
-from repro.service import DaemonClient, GridfedDaemon
+from repro.service import DaemonClient, DaemonError, GridfedDaemon
 
 
 def _fast(seed: int) -> Scenario:
@@ -74,7 +79,57 @@ def main() -> int:
             client.shutdown()
         finally:
             daemon.stop()
-    print("[daemon-smoke] OK: serve loop, cache hit and clean shutdown")
+    status = backpressure_phase()
+    if status != 0:
+        return status
+    print("[daemon-smoke] OK: serve loop, cache hit, backpressure and clean shutdown")
+    return 0
+
+
+def backpressure_phase() -> int:
+    """Queue full -> 429 + Retry-After -> client backs off -> completes."""
+    with tempfile.TemporaryDirectory(prefix="gridfed-daemon-bp-") as state_dir:
+        daemon = GridfedDaemon(state_dir, port=0, workers=1, max_pending=1)
+        daemon.start()
+        impatient = DaemonClient(daemon.address, timeout=10.0, retries=0)
+        patient = DaemonClient(
+            daemon.address, timeout=10.0, retries=60, backoff_base=0.1, backoff_cap=0.5
+        )
+        try:
+            blocker = impatient.submit(
+                Scenario(workload="synthetic", horizon=72 * 3600.0, thin=1, seed=10)
+            )
+            try:
+                impatient.submit(_fast(11))
+            except DaemonError as exc:
+                if exc.status != 429:
+                    print(f"[daemon-smoke] FAIL: expected 429, got {exc.status}",
+                          file=sys.stderr)
+                    return 1
+                print("[daemon-smoke] saturated daemon refused overflow with 429",
+                      flush=True)
+            else:
+                print("[daemon-smoke] FAIL: overflow submission was accepted",
+                      file=sys.stderr)
+                return 1
+            if daemon.health()["status"] != "saturated":
+                print(f"[daemon-smoke] FAIL: health should report saturated: "
+                      f"{daemon.health()}", file=sys.stderr)
+                return 1
+            # Free the slot shortly; the patient client rides out the 429
+            # window with capped jittered backoff and then completes.
+            threading.Timer(1.0, lambda: impatient.cancel(blocker)).start()
+            t0 = time.perf_counter()
+            sid = patient.submit(_fast(11))
+            record = patient.wait(sid, timeout=600)
+            if record["status"] != "completed":
+                print(f"[daemon-smoke] FAIL: backed-off submission ended "
+                      f"{record['status']}: {record.get('error')}", file=sys.stderr)
+                return 1
+            print(f"[daemon-smoke] patient client backed off and completed in "
+                  f"{time.perf_counter() - t0:.2f}s", flush=True)
+        finally:
+            daemon.stop()
     return 0
 
 

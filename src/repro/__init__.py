@@ -76,10 +76,12 @@ from repro.scenario import (
     register_agent,
     register_fault,
     register_pricing,
+    register_resilience,
     register_workload,
     run_scenario,
     scenario_from_config,
 )
+from repro.resilience import ResiliencePolicy
 from repro.validate import InvariantViolation, assert_valid, validate_result
 from repro.sim import RandomStreams, Simulator
 from repro.workload import (
@@ -108,7 +110,9 @@ __all__ = [
     "register_agent",
     "register_fault",
     "register_pricing",
+    "register_resilience",
     "register_workload",
+    "ResiliencePolicy",
     "run_scenario",
     "scenario_from_config",
     "FaultPlan",

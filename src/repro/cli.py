@@ -76,6 +76,7 @@ from repro.scenario import (
     AGENT_REGISTRY,
     FAULT_REGISTRY,
     PRICING_REGISTRY,
+    RESILIENCE_REGISTRY,
     WORKLOAD_REGISTRY,
 )
 from repro.scenario import (
@@ -215,6 +216,7 @@ def _scenario_from_args(args, oft_pct: Optional[float] = None) -> Scenario:
         thin=args.thin,
         system_size=args.size,
         faults=args.faults,
+        resilience=args.resilience,
         transport=args.topology,
         directory_shards=args.shards,
         engine=args.queue,
@@ -283,6 +285,15 @@ def cmd_run(args) -> str:
             f"downtime={fm.total_downtime:.0f}s "
             f"sla_violations={fm.sla_violation_rate:.3f}\n"
         )
+    if result.resilience is not None:
+        rm = result.resilience
+        summary += (
+            f"resilience: policy={rm.policy} retries={rm.retries} "
+            f"retry_wins={rm.retry_successes} breaker_trips={rm.breaker_trips} "
+            f"breaker_skips={rm.breaker_skips} hedged_wins={rm.hedged_wins} "
+            f"evicted_quotes={rm.evicted_quotes} "
+            f"backoff_wait={rm.backoff_wait_s:.0f}s\n"
+        )
     net = result.network
     if net is not None and (scenario.transport != "uniform" or scenario.directory_shards != 1):
         summary += (
@@ -305,6 +316,7 @@ def cmd_sweep(args) -> str:
         seed=args.seed,
         thin=args.thin,
         faults=args.faults,
+        resilience=args.resilience,
         transport=args.topology,
         directory_shards=args.shards,
         engine=args.queue,
@@ -429,6 +441,8 @@ def cmd_daemon(args) -> str:
         port=args.port,
         workers=args.workers or 1,
         checkpoint_interval=args.checkpoint_interval,
+        max_pending=args.max_pending,
+        request_deadline=args.request_deadline,
     )
     # The chosen address goes to stdout *and* a discovery file before the
     # serving loop blocks, so scripts (and the restart smoke test) can find
@@ -503,6 +517,13 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
         "--faults",
         default="none",
         help=f"fault variant ({', '.join(FAULT_REGISTRY.available())})",
+    )
+    parser.add_argument(
+        "--resilience",
+        default="paper",
+        help="resilience policy "
+        f"({', '.join(RESILIENCE_REGISTRY.available())}; 'paper' = the "
+        "bare negotiation path, byte-identical to pre-resilience runs)",
     )
     from repro.net import available_topologies
 
@@ -702,6 +723,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=3600.0,
         metavar="SECONDS",
         help="virtual seconds between snapshots of in-flight runs",
+    )
+    daemon_parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="bound on queued+running submissions; beyond it POST /jobs "
+        "returns 429 with a Retry-After header (backpressure)",
+    )
+    daemon_parser.add_argument(
+        "--request-deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request read deadline; stalled client connections time "
+        "out instead of pinning handler threads",
     )
 
     from repro.perf import BENCH_SCALES

@@ -39,6 +39,7 @@ from repro.workload.qos import assign_qos, assign_strategies
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.injector import FaultInjector, FaultReport
     from repro.faults.plan import FaultPlan
+    from repro.resilience.policy import ResilienceManager, ResiliencePolicy, ResilienceReport
     from repro.validate import RuntimeValidator
 
 
@@ -79,6 +80,12 @@ class FederationConfig:
         queue for federations with very large pending-event populations).
         Every backend delivers the identical event order, so this knob can
         change wall-clock cost but never results.
+    resilience:
+        Resilience-policy registry key this run was configured with
+        (``"paper"`` = the bare negotiation path, nothing installed).  The
+        config only *names* the policy — installation happens through
+        :meth:`Federation.install_resilience`, which the scenario runner
+        drives for any key that resolves to an active policy.
     """
 
     mode: SharingMode = SharingMode.ECONOMY
@@ -92,6 +99,7 @@ class FederationConfig:
     transport: str = "uniform"
     directory_shards: int = 1
     engine: str = "heap"
+    resilience: str = "paper"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.oft_fraction <= 1.0:
@@ -114,6 +122,10 @@ class FederationConfig:
             raise ValueError(
                 f"unknown event-queue backend {self.engine!r}; registered: "
                 f"{', '.join(available_queues())} (or 'auto')"
+            )
+        if not self.resilience or not isinstance(self.resilience, str):
+            raise ValueError(
+                f"resilience must be a registry key string, got {self.resilience!r}"
             )
 
 
@@ -149,6 +161,9 @@ class FederationResult:
     #: directory control-plane fan-out); ``None`` only for legacy callers
     #: that build results by hand.
     network: Optional[TransportStats] = None
+    #: Resilience-policy accounting (``None`` when no policy was installed —
+    #: the default ``paper`` path).
+    resilience: Optional["ResilienceReport"] = None
 
     # ------------------------------------------------------------------ #
     # Convenience queries used throughout metrics / experiments / benches
@@ -272,6 +287,7 @@ class Federation:
         self._ran = False
         self._fault_injector: Optional["FaultInjector"] = None
         self._validator: Optional["RuntimeValidator"] = None
+        self._resilience: Optional["ResilienceManager"] = None
 
     # ------------------------------------------------------------------ #
     # Fault injection and runtime validation (both opt-in)
@@ -293,6 +309,22 @@ class Federation:
         if self._validator is not None:
             self._fault_injector.validator = self._validator
         return self._fault_injector
+
+    def install_resilience(self, policy: "ResiliencePolicy") -> "ResilienceManager":
+        """Attach a resilience policy (retry/backoff, breakers, quote TTLs).
+
+        Must be called before :meth:`run`.  Without it every GFA keeps
+        ``resilience is None`` and the negotiation path is byte-identical to
+        the paper's — exactly like the fault injector's opt-in pattern.
+        """
+        if self._ran:
+            raise RuntimeError("cannot install resilience after the federation ran")
+        if self._resilience is not None:
+            raise RuntimeError("a resilience policy is already installed")
+        from repro.resilience.policy import ResilienceManager
+
+        self._resilience = ResilienceManager(self, policy)
+        return self._resilience
 
     def install_validator(self, validator: Optional["RuntimeValidator"] = None) -> "RuntimeValidator":
         """Attach a runtime validator (simulation-invariant assertion mode).
@@ -408,6 +440,9 @@ class Federation:
             events_processed=self.sim.events_processed,
             faults=faults,
             network=self.transport.stats,
+            resilience=(
+                self._resilience.report() if self._resilience is not None else None
+            ),
         )
         if self._validator is not None:
             self._validator.validate_end(self, result)

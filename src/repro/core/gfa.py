@@ -27,6 +27,7 @@ from repro.core.messages import MessageLog, MessageType
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.injector import FaultInjector
+    from repro.resilience.policy import ResilienceManager
 from repro.core.policies import SharingMode, rank_criterion_for
 from repro.economy.bank import GridBank
 from repro.net.transport import Transport
@@ -136,6 +137,8 @@ class GridFederationAgent(Entity):
         self.joined: bool = False
         #: The attached fault injector (None on the zero-fault path).
         self.faults: Optional["FaultInjector"] = None
+        #: The attached resilience manager (None on the paper's bare path).
+        self.resilience: Optional["ResilienceManager"] = None
         #: Closed ``(down_since, up_again)`` crash windows.
         self.downtime_intervals: List[Tuple[float, float]] = []
         self._down_since: Optional[float] = None
@@ -217,6 +220,8 @@ class GridFederationAgent(Entity):
         # The session resumes from the last matched rank on every probe, so
         # the whole negotiation sequence costs one forward sweep of the
         # directory instead of a fresh scan per round.
+        if self.resilience is not None:
+            self.resilience.evict_stale_quotes(self)
         session = self.directory.open_session(
             rank_criterion_for(job), min_processors=job.num_processors
         )
@@ -224,6 +229,10 @@ class GridFederationAgent(Entity):
             job.negotiation_rounds += 1
             if quote.gfa_name == self.name:
                 continue  # local feasibility was already ruled out
+            if self.resilience is not None and not self.resilience.allow_candidate(
+                self.name, quote.gfa_name
+            ):
+                continue  # circuit open: stop hammering a dead/flapping peer
             if self._negotiate(quote, job):
                 self._migrate(quote, job)
                 return
@@ -245,6 +254,8 @@ class GridFederationAgent(Entity):
             else:
                 self._reject(job)
             return
+        if self.resilience is not None:
+            self.resilience.evict_stale_quotes(self)
         session = self.directory.open_session(
             rank_criterion_for(job), min_processors=job.num_processors
         )
@@ -259,6 +270,10 @@ class GridFederationAgent(Entity):
                     self._accept_locally(job)
                     return
                 continue
+            if self.resilience is not None and not self.resilience.allow_candidate(
+                self.name, quote.gfa_name
+            ):
+                continue  # circuit open: stop hammering a dead/flapping peer
             if self._negotiate(quote, job):
                 self._migrate(quote, job)
                 return
@@ -273,6 +288,8 @@ class GridFederationAgent(Entity):
 
     def _reject(self, job: Job) -> None:
         self.stats.rejected += 1
+        if self.resilience is not None:
+            self.resilience.note_reject(job)
         job.mark_rejected()
 
     def _enquire(self, remote: "GridFederationAgent", job: Job) -> Optional[AdmissionDecision]:
@@ -293,7 +310,13 @@ class GridFederationAgent(Entity):
             self.stats.negotiation_timeouts += 1
             if self.faults is not None:
                 self.faults.note_negotiation_timeout(self, remote, job)
+            if self.resilience is not None:
+                # Bounded retry with seeded backoff; records the breaker
+                # failure whether or not a retry eventually gets through.
+                return self.resilience.on_enquiry_timeout(self, remote, job)
             return None
+        if self.resilience is not None:
+            self.resilience.note_success(self, remote.name)
         return remote.handle_admission_request(job)
 
     def _negotiate(self, quote: DirectoryQuote, job: Job) -> bool:
@@ -304,6 +327,8 @@ class GridFederationAgent(Entity):
             return False
         if not decision.accepted:
             self.stats.negotiations_refused += 1
+        elif self.resilience is not None:
+            self.resilience.note_accept(job)
         return decision.accepted
 
     def _migrate(self, quote: DirectoryQuote, job: Job) -> None:
@@ -317,6 +342,11 @@ class GridFederationAgent(Entity):
         remote: GridFederationAgent = self.registry.lookup(quote.gfa_name)
         self.stats.migrated_out += 1
         fate, delay = self.transport.transfer(self.name, remote.name, job)
+        if fate == "lost" and self.resilience is not None:
+            # Re-send the transfer (bounded, backed off) before declaring
+            # the job lost; a rescued transfer carries its accumulated
+            # backoff as extra delivery delay.
+            fate, delay = self.resilience.retry_migration(self, remote, job)
         if fate == "lost":
             job.mark_failed(
                 self.sim.now,

@@ -78,6 +78,9 @@ class FaultReport:
     background_lost: int = 0
     #: Job transfers lost on the wire (counted inside ``jobs_lost`` too).
     transit_losses: int = 0
+    #: Dead members' stale quotes aged out by a resilience policy's TTL sweep
+    #: (each is also a discovery; zero without an active resilience policy).
+    stale_evictions: int = 0
     #: Per-cluster crashed seconds within the observation period.
     downtime: Dict[str, float] = field(default_factory=dict)
     #: Per-cluster closed ``(down, up)`` crash windows.
@@ -137,6 +140,7 @@ class FaultInjector:
         self.renegotiations = 0
         self.jobs_lost = 0
         self.transit_losses = 0
+        self.stale_evictions = 0
         self.background_jobs: List[Job] = []
         self.background_lost = 0
         self._background_ids: Set[int] = set()
@@ -310,6 +314,16 @@ class FaultInjector:
         """Account one job bounced back into superscheduling by a fault."""
         self.renegotiations += 1
 
+    def note_stale_quote(self, name: str) -> None:
+        """A resilience TTL sweep aged out a dead member's stale quote.
+
+        Routes through the same discovery bookkeeping as a negotiation
+        timeout, so the directory-vs-ground-truth invariant stays intact:
+        the eviction *is* a discovery, just a proactive one.
+        """
+        self.stale_evictions += 1
+        self._discover_dead(name)
+
     def _discover_dead(self, name: str) -> None:
         if name in self._discovered:
             return
@@ -361,6 +375,7 @@ class FaultInjector:
             background_jobs=len(self.background_jobs),
             background_lost=self.background_lost,
             transit_losses=self.transit_losses,
+            stale_evictions=self.stale_evictions,
             downtime=downtime,
             downtime_intervals=intervals,
             expected_members=self.expected_members(),

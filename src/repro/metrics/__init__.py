@@ -7,31 +7,39 @@ harnesses, the examples and the CLI.
 """
 
 from repro.metrics.collectors import (
+    FaultMetrics,
     MessageStats,
     QoSSummary,
     ResourceRow,
+    fault_metrics,
     incentive_by_resource,
     message_summary,
     network_summary,
     per_gfa_message_stats,
     per_job_message_stats,
     remote_jobs_serviced,
+    resilience_summary,
     resource_processing_table,
+    sla_violation_rate,
     user_qos_summary,
 )
 from repro.metrics.report import render_table, to_csv
 
 __all__ = [
+    "FaultMetrics",
     "MessageStats",
     "QoSSummary",
     "ResourceRow",
+    "fault_metrics",
     "incentive_by_resource",
     "message_summary",
     "network_summary",
     "per_gfa_message_stats",
     "per_job_message_stats",
     "remote_jobs_serviced",
+    "resilience_summary",
     "resource_processing_table",
+    "sla_violation_rate",
     "user_qos_summary",
     "render_table",
     "to_csv",

@@ -216,7 +216,7 @@ def network_summary(result: FederationResult) -> Dict[str, object]:
     net = result.network
     if net is None:
         return {}
-    return {
+    summary: Dict[str, object] = {
         "messages": net.messages,
         "volume_mb": net.volume_mb,
         "latency_s": net.latency_s,
@@ -227,6 +227,9 @@ def network_summary(result: FederationResult) -> Dict[str, object]:
         "directory_messages": net.control_messages,
         "directory_by_node": dict(net.control_by_node),
     }
+    if result.resilience is not None:
+        summary["resilience"] = resilience_summary(result)
+    return summary
 
 
 # --------------------------------------------------------------------------- #
@@ -247,21 +250,58 @@ class FaultMetrics:
     sla_violation_rate: float
     #: Fraction of all submitted jobs attributably lost to faults.
     loss_rate: float
+    #: Retries attempted by the active resilience policy (0 without one).
+    retries: int = 0
+    #: Circuit-breaker trips of the active resilience policy.
+    breaker_trips: int = 0
+    #: Stale quotes aged out by the policy's TTL sweep.
+    evicted_quotes: int = 0
 
 
-def sla_violation_rate(result: FederationResult) -> float:
-    """Fraction of completed jobs whose QoS (deadline/budget) was violated.
+def sla_violation_rate(result: FederationResult, include_lost: bool = False) -> float:
+    """Fraction of jobs whose QoS (deadline/budget) was violated.
 
     Fault-free Grid-Federation runs keep this at zero by construction — the
     admission handshake guarantees deadlines and the DBC loop budgets; under
     churn, re-negotiated jobs may finish late or cost more, which is exactly
     the degradation this metric quantifies.
+
+    ``include_lost=False`` (the default) is the paper-style view: violations
+    over *completed* jobs only.  ``include_lost=True`` additionally counts
+    every fault-lost job as a violation (a job that never came back certainly
+    missed its SLA) — the robustness view the chaos-soak comparison uses,
+    which is immune to the survivorship artifact where losing a job outright
+    *improves* the completed-only rate.
     """
     completed = result.completed_jobs()
-    if not completed:
-        return 0.0
     violated = sum(1 for job in completed if not job.qos_satisfied)
-    return violated / len(completed)
+    denominator = len(completed)
+    if include_lost:
+        lost = len(result.failed_jobs())
+        violated += lost
+        denominator += lost
+    if denominator == 0:
+        return 0.0
+    return violated / denominator
+
+
+def resilience_summary(result: FederationResult) -> Dict[str, object]:
+    """The resilience-policy counters of one run (empty without a policy)."""
+    report = result.resilience
+    if report is None:
+        return {}
+    return {
+        "policy": report.policy,
+        "retries": report.retries,
+        "retry_successes": report.retry_successes,
+        "breaker_trips": report.breaker_trips,
+        "breaker_skips": report.breaker_skips,
+        "hedges": report.hedges,
+        "hedged_wins": report.hedged_wins,
+        "evicted_quotes": report.evicted_quotes,
+        "backoff_wait_s": report.backoff_wait_s,
+        "open_circuits": report.open_circuits,
+    }
 
 
 def downtime_by_resource(result: FederationResult) -> Dict[str, float]:
@@ -274,6 +314,7 @@ def downtime_by_resource(result: FederationResult) -> Dict[str, float]:
 def fault_metrics(result: FederationResult) -> FaultMetrics:
     """Collect the robustness summary (all-zero for fault-free runs)."""
     report = result.faults
+    resilience = result.resilience
     total_jobs = len(result.jobs)
     lost = len(result.failed_jobs())
     return FaultMetrics(
@@ -286,6 +327,9 @@ def fault_metrics(result: FederationResult) -> FaultMetrics:
         total_downtime=report.total_downtime if report else 0.0,
         sla_violation_rate=sla_violation_rate(result),
         loss_rate=lost / total_jobs if total_jobs else 0.0,
+        retries=resilience.retries if resilience else 0,
+        breaker_trips=resilience.breaker_trips if resilience else 0,
+        evicted_quotes=resilience.evicted_quotes if resilience else 0,
     )
 
 

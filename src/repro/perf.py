@@ -75,6 +75,7 @@ __all__ = [
     "bench_event_kernel",
     "bench_table3",
     "bench_transport_fastpath",
+    "bench_resilience_overhead",
     "run_benchmarks",
     "write_report",
     "compare_to_baseline",
@@ -571,6 +572,72 @@ def bench_transport_fastpath(
 
 
 # --------------------------------------------------------------------------- #
+# Resilience-layer overhead benchmark
+# --------------------------------------------------------------------------- #
+def bench_resilience_overhead(
+    thin: int,
+    repeats: int = 1,
+    seed: int = 42,
+    system_sizes: Sequence[Optional[int]] = (None,),
+) -> List[Dict[str, object]]:
+    """Time the Table-3 run with the resilience layer absent vs inert.
+
+    ``paper`` installs nothing; ``noop`` installs the inert policy, so every
+    hot-path ``gfa.resilience is not None`` guard takes the instrumented
+    branch without a single retry, breaker trip or eviction firing.  On a
+    fault-free run the two must produce identical result fingerprints, and
+    the wall-clock ratio bounds the cost the policy plumbing adds to the
+    negotiation hot path — the acceptance claim is "no measurable overhead",
+    so the ratio should sit at ~1.0x within noise.
+    """
+    rows: List[Dict[str, object]] = []
+    for size in system_sizes:
+        fingerprints: Dict[str, str] = {}
+        timings: Dict[str, float] = {}
+        stats: Dict[str, Tuple[int, int]] = {}
+
+        def once(policy: str) -> float:
+            scenario = Scenario(
+                mode=SharingMode.FEDERATION,
+                seed=seed,
+                thin=thin,
+                system_size=size,
+                resilience=policy,
+            )
+            start = time.perf_counter()
+            result = run_scenario(scenario)
+            elapsed = time.perf_counter() - start
+            fingerprints[policy] = result_fingerprint(result)
+            stats[policy] = (len(result.jobs), result.events_processed)
+            return elapsed
+
+        # Same protocol as the transport benchmark: one untimed warmup, then
+        # alternate the variants so warm-interpreter drift cannot bias
+        # whichever happens to run second.
+        once("paper")
+        for _ in range(max(1, repeats)):
+            for policy in ("paper", "noop"):
+                elapsed = once(policy)
+                best = timings.get(policy)
+                timings[policy] = elapsed if best is None else min(best, elapsed)
+        jobs, events = stats["paper"]
+        rows.append(
+            {
+                "clusters": 8 if size is None else int(size),
+                "thin": int(thin),
+                "jobs": jobs,
+                "events": events,
+                "paper_s": timings["paper"],
+                "noop_s": timings["noop"],
+                "overhead": timings["noop"] / max(timings["paper"], 1e-12),
+                "outputs_identical": fingerprints["paper"] == fingerprints["noop"],
+                "fingerprint": fingerprints["paper"],
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
 # Suite driver, report and regression gate
 # --------------------------------------------------------------------------- #
 def run_benchmarks(
@@ -624,6 +691,14 @@ def run_benchmarks(
             # is proportional to traffic, so that is where the ratio shows.
             system_sizes=(scale.table3_sizes[-1],),
         ),
+        "resilience": bench_resilience_overhead(
+            scale.table3_thin,
+            # The overhead under measurement is expected to be ~zero — noise
+            # suppression needs at least two repetitions per variant.
+            repeats=max(2, scale.repeats),
+            seed=seed,
+            system_sizes=(scale.table3_sizes[-1],),
+        ),
     }
 
 
@@ -668,6 +743,9 @@ def _tracked_timings(report: Dict[str, object]) -> Dict[str, float]:
     for row in report.get("transport", []):
         key = f"transport/{row['clusters']}@thin{row['thin']}/fast_s"
         tracked[key] = float(row["fast_s"])
+    for row in report.get("resilience", []):
+        key = f"resilience/{row['clusters']}@thin{row['thin']}/noop_s"
+        tracked[key] = float(row["noop_s"])
     return tracked
 
 
@@ -726,6 +804,12 @@ def compare_to_baseline(
         if not row.get("outputs_identical", True):
             problems.append(
                 f"transport/{row['clusters']}: fast-path and slow-path runs "
+                "diverged (fingerprint mismatch)"
+            )
+    for row in report.get("resilience", []):
+        if not row.get("outputs_identical", True):
+            problems.append(
+                f"resilience/{row['clusters']}: paper and inert-policy runs "
                 "diverged (fingerprint mismatch)"
             )
     current = _tracked_timings(report)
@@ -914,6 +998,25 @@ def render_report(report: Dict[str, object]) -> str:
                 ["Clusters", "Jobs", "Fast s", "Slow s", "Speedup", "Identical"],
                 rows,
                 title="Transport fast path — free-topology short-circuit on vs off",
+            )
+        )
+    rows = [
+        [
+            row["clusters"],
+            row["jobs"],
+            row["paper_s"],
+            row["noop_s"],
+            f"{row['overhead']:.2f}x",
+            "yes" if row["outputs_identical"] else "NO",
+        ]
+        for row in report.get("resilience", [])
+    ]
+    if rows:
+        out.append(
+            render_table(
+                ["Clusters", "Jobs", "Paper s", "Noop s", "Overhead", "Identical"],
+                rows,
+                title="Resilience layer — no policy vs inert policy installed",
             )
         )
     return "\n".join(out)

@@ -1,0 +1,39 @@
+"""Pluggable resilience policies for the federation and service layers.
+
+See :mod:`repro.resilience.policy` for the model (retry/backoff, circuit
+breakers, quote TTLs, hedging), :mod:`repro.resilience.variants` for the
+built-in policies (``paper``, ``noop``, ``retry``, ``retry-breaker``) and
+:mod:`repro.resilience.soak` for the chaos-soak comparison harness.
+
+The built-ins register themselves when :mod:`repro.scenario` loads (the same
+import-side-effect pattern as the fault variants), so ``Scenario(
+resilience="retry-breaker")`` works out of the box.
+"""
+
+from repro.resilience.policy import (
+    INERT_POLICY,
+    CircuitBreaker,
+    ResilienceManager,
+    ResiliencePolicy,
+    ResilienceReport,
+)
+from repro.resilience.soak import (
+    SoakRow,
+    canonical_chaos_plan,
+    canonical_chaos_scenario,
+    chaos_soak,
+    render_soak_table,
+)
+
+__all__ = [
+    "INERT_POLICY",
+    "CircuitBreaker",
+    "ResilienceManager",
+    "ResiliencePolicy",
+    "ResilienceReport",
+    "SoakRow",
+    "canonical_chaos_plan",
+    "canonical_chaos_scenario",
+    "chaos_soak",
+    "render_soak_table",
+]

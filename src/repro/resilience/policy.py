@@ -1,0 +1,383 @@
+"""The resilience policy model: retries, circuit breakers and quote TTLs.
+
+The paper's negotiation path (Section 2.0.3) assumes every enquiry either
+succeeds or the job silently re-enters negotiation.  Under the fault plans of
+:mod:`repro.faults` that assumption is expensive: timeouts burn negotiation
+rounds, stale quotes of crashed members linger until a timeout discovers
+them, and a flapping peer is re-tried immediately and forever.  This module
+adds the explicit policy layer a production federation would run instead:
+
+* **bounded retry with seeded exponential backoff + jitter** for GFA
+  enquiries and job migrations — retry draws come from the dedicated
+  ``"resilience/backoff"`` RNG stream, so a ``(seed, policy)`` pair
+  reproduces exactly and the paper's own streams are untouched;
+* **per-peer circuit breakers** (closed → open → half-open) so a GFA stops
+  hammering a dead or flapping peer; open-circuit candidates are skipped
+  during directory query sessions;
+* **quote TTL / staleness eviction** so a crashed member's stale directory
+  quote ages out instead of waiting for the next negotiation timeout to
+  discover it (the eviction routes through the fault injector's discovery
+  bookkeeping, keeping the directory-vs-ground-truth invariant intact);
+* **hedging**: rather than burning retries on a peer with a known failure
+  streak, fail over to the next ranked candidate immediately and count the
+  job a *hedged win* if a later candidate accepts it.
+
+Everything here is inert by default: a federation without an installed
+:class:`ResilienceManager` never touches this module (``gfa.resilience is
+None`` guards every hook, mirroring ``gfa.faults``), which is what keeps the
+default ``paper`` policy byte-identical to the pre-resilience code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.core.federation import Federation
+    from repro.core.gfa import GridFederationAgent
+    from repro.workload.job import Job
+
+__all__ = [
+    "ResiliencePolicy",
+    "ResilienceReport",
+    "CircuitBreaker",
+    "ResilienceManager",
+    "INERT_POLICY",
+]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Declarative knobs of one resilience policy (all off by default).
+
+    Attributes
+    ----------
+    key:
+        Registry key the policy was resolved from (shows up in reports).
+    max_retries:
+        Extra enquiry attempts after the first round trip times out.
+    migration_retries:
+        Extra transfer attempts after a job submission is lost in transit.
+    backoff_base_s:
+        First backoff delay; attempt ``n`` waits ``base * 2**n`` (capped).
+    backoff_cap_s:
+        Upper bound on any single backoff delay.
+    backoff_jitter:
+        Fractional uniform jitter added on top of the exponential delay
+        (``0.5`` = up to +50%), drawn from the ``"resilience/backoff"``
+        stream.
+    breaker_threshold:
+        Consecutive failed negotiations against one peer before the circuit
+        opens (``0`` disables the breaker).
+    breaker_cooldown_s:
+        Simulated seconds an open circuit waits before a half-open probe.
+    quote_ttl_s:
+        Maximum age (since last successful contact) of a crashed member's
+        directory quote before it is evicted (``inf`` = never).
+    hedge:
+        When a peer already carries a failure streak, skip its retries and
+        fail over to the next ranked candidate immediately.
+    """
+
+    key: str = "custom"
+    max_retries: int = 0
+    migration_retries: int = 0
+    backoff_base_s: float = 5.0
+    backoff_cap_s: float = 300.0
+    backoff_jitter: float = 0.0
+    breaker_threshold: int = 0
+    breaker_cooldown_s: float = 1800.0
+    quote_ttl_s: float = math.inf
+    hedge: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0 or self.migration_retries < 0:
+            raise ValueError("retry counts must be non-negative")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError(f"backoff_jitter must lie in [0, 1], got {self.backoff_jitter}")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be non-negative")
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError("breaker_cooldown_s must be positive")
+        if self.quote_ttl_s <= 0:
+            raise ValueError("quote_ttl_s must be positive")
+
+
+#: Machinery installed, every behavioural knob off.  Running under this
+#: policy must produce byte-identical results to no policy at all — that is
+#: the no-overhead guarantee ``gridfed bench`` re-verifies (the ``noop``
+#: registry variant resolves to it).
+INERT_POLICY = ResiliencePolicy(key="noop")
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """End-of-run counters of one policy'd federation run."""
+
+    policy: str
+    #: Extra enquiry/transfer attempts made beyond each first try.
+    retries: int = 0
+    #: Retries whose round trip / transfer actually succeeded.
+    retry_successes: int = 0
+    #: Circuits that tripped closed → open (re-trips from half-open count).
+    breaker_trips: int = 0
+    #: Directory candidates skipped because their circuit was open.
+    breaker_skips: int = 0
+    #: Negotiations that failed over early instead of burning retries.
+    hedges: int = 0
+    #: Hedged-over jobs that a later candidate accepted.
+    hedged_wins: int = 0
+    #: Stale quotes of crashed members aged out by the TTL sweep.
+    evicted_quotes: int = 0
+    #: Total virtual seconds spent in backoff waits.
+    backoff_wait_s: float = 0.0
+    #: Circuits still open when the run ended.
+    open_circuits: int = 0
+
+
+class CircuitBreaker:
+    """One peer's closed → open → half-open circuit state.
+
+    The simulation negotiates synchronously, so the half-open state collapses
+    to a single probe: :meth:`allow` turns an expired open circuit half-open
+    and admits exactly one attempt, whose outcome either closes the circuit
+    (:meth:`on_success`) or re-opens it (:meth:`on_failure`).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    __slots__ = ("state", "failures", "opened_at")
+
+    def __init__(self) -> None:
+        self.state = self.CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+
+    def allow(self, now: float, cooldown_s: float) -> bool:
+        """True if an attempt against this peer may go out at ``now``."""
+        if self.state == self.OPEN:
+            if now - self.opened_at < cooldown_s:
+                return False
+            self.state = self.HALF_OPEN
+        return True
+
+    def on_success(self) -> None:
+        self.state = self.CLOSED
+        self.failures = 0
+
+    def on_failure(self, now: float, threshold: int) -> bool:
+        """Record one failed negotiation; True if the circuit (re-)tripped."""
+        self.failures += 1
+        if threshold <= 0:
+            return False
+        if self.state == self.HALF_OPEN or self.failures >= threshold:
+            self.state = self.OPEN
+            self.opened_at = now
+            return True
+        return False
+
+
+class ResilienceManager:
+    """Per-federation runtime of one :class:`ResiliencePolicy`.
+
+    Installed through :meth:`repro.core.federation.Federation.
+    install_resilience` (which ``run_scenario`` does for any scenario whose
+    ``resilience`` variant resolves to a policy).  Attaches itself as
+    ``gfa.resilience`` on every agent, exactly like the fault injector's
+    ``gfa.faults``; the GFA hot path stays a single ``is None`` check when no
+    policy is active.
+    """
+
+    def __init__(self, federation: "Federation", policy: ResiliencePolicy):
+        self.policy = policy
+        self.sim = federation.sim
+        #: Dedicated stream: backoff jitter never perturbs the paper's RNGs.
+        self.rng = federation.streams.get("resilience/backoff")
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+        #: Last simulated time each peer was successfully contacted.
+        self._last_seen: Dict[str, float] = {}
+        #: Jobs hedged away from a flapping peer, pending an acceptance.
+        self._hedged_jobs: Set[int] = set()
+        self.retries = 0
+        self.retry_successes = 0
+        self.breaker_trips = 0
+        self.breaker_skips = 0
+        self.hedges = 0
+        self.hedged_wins = 0
+        self.evicted_quotes = 0
+        self.backoff_wait_s = 0.0
+        for gfa in federation.gfas.values():
+            gfa.resilience = self
+
+    # ------------------------------------------------------------------ #
+    # Backoff
+    # ------------------------------------------------------------------ #
+    def _backoff(self, attempt: int) -> float:
+        """Draw one capped, jittered exponential backoff delay (accounted)."""
+        delay = self.policy.backoff_base_s * (2.0**attempt)
+        if self.policy.backoff_jitter > 0.0:
+            delay *= 1.0 + self.policy.backoff_jitter * float(self.rng.random())
+        delay = min(delay, self.policy.backoff_cap_s)
+        self.backoff_wait_s += delay
+        return delay
+
+    # ------------------------------------------------------------------ #
+    # Circuit breakers
+    # ------------------------------------------------------------------ #
+    def _breaker(self, origin: str, peer: str) -> CircuitBreaker:
+        try:
+            return self._breakers[(origin, peer)]
+        except KeyError:
+            breaker = self._breakers[(origin, peer)] = CircuitBreaker()
+            return breaker
+
+    def allow_candidate(self, origin_name: str, peer_name: str) -> bool:
+        """False (and counted) when the origin's circuit to the peer is open."""
+        if self.policy.breaker_threshold <= 0:
+            return True
+        breaker = self._breakers.get((origin_name, peer_name))
+        if breaker is None:
+            return True
+        if breaker.allow(self.sim.now, self.policy.breaker_cooldown_s):
+            return True
+        self.breaker_skips += 1
+        return False
+
+    def _record_failure(self, origin: "GridFederationAgent", peer_name: str) -> None:
+        breaker = self._breaker(origin.name, peer_name)
+        if breaker.on_failure(self.sim.now, self.policy.breaker_threshold):
+            self.breaker_trips += 1
+
+    def note_success(self, origin: "GridFederationAgent", peer_name: str) -> None:
+        """A round trip to ``peer_name`` came back: close its circuit."""
+        self._last_seen[peer_name] = self.sim.now
+        self._breaker(origin.name, peer_name).on_success()
+
+    # ------------------------------------------------------------------ #
+    # Enquiry retry + hedging (driven from GFA._enquire)
+    # ------------------------------------------------------------------ #
+    def on_enquiry_timeout(
+        self, origin: "GridFederationAgent", remote: "GridFederationAgent", job: "Job"
+    ):
+        """Handle a timed-out enquiry: retry with backoff, hedge, or give up.
+
+        Returns the remote's admission decision when a retry gets through,
+        else ``None`` (the caller moves on to the next ranked candidate).
+        Retries are synchronous in simulated time — the paper models
+        negotiation as instantaneous — so backoff delays are charged to the
+        report's ``backoff_wait_s``, not to the clock.
+        """
+        breaker = self._breaker(origin.name, remote.name)
+        if self.policy.hedge and breaker.failures >= 1:
+            # Known failure streak: do not burn retries, fail over now.
+            self.hedges += 1
+            self._hedged_jobs.add(job.job_id)
+            self._record_failure(origin, remote.name)
+            return None
+        for attempt in range(self.policy.max_retries):
+            self.retries += 1
+            self._backoff(attempt)
+            origin.stats.negotiations_sent += 1
+            delivered = origin.transport.roundtrip(
+                origin.name, remote.name, job, responder_alive=remote.alive
+            )
+            if delivered:
+                self.retry_successes += 1
+                self.note_success(origin, remote.name)
+                return remote.handle_admission_request(job)
+            origin.stats.negotiation_timeouts += 1
+            if origin.faults is not None:
+                origin.faults.note_negotiation_timeout(origin, remote, job)
+        self._record_failure(origin, remote.name)
+        return None
+
+    def note_accept(self, job: "Job") -> None:
+        """A candidate accepted ``job``; settle any pending hedge on it."""
+        if job.job_id in self._hedged_jobs:
+            self._hedged_jobs.discard(job.job_id)
+            self.hedged_wins += 1
+
+    def note_reject(self, job: "Job") -> None:
+        """``job`` exhausted all candidates; drop any pending hedge on it."""
+        self._hedged_jobs.discard(job.job_id)
+
+    # ------------------------------------------------------------------ #
+    # Migration retry (driven from GFA._migrate)
+    # ------------------------------------------------------------------ #
+    def retry_migration(
+        self, origin: "GridFederationAgent", remote: "GridFederationAgent", job: "Job"
+    ) -> Tuple[str, float]:
+        """Re-attempt a transit-lost job submission up to the policy's bound.
+
+        Returns the final ``(fate, delay)``; a successful retry's delivery is
+        delayed by the accumulated backoff, so the recovery is physically
+        meaningful (the job really does arrive later than a clean transfer).
+        """
+        waited = 0.0
+        for attempt in range(self.policy.migration_retries):
+            self.retries += 1
+            waited += self._backoff(attempt)
+            fate, delay = origin.transport.transfer(origin.name, remote.name, job)
+            if fate != "lost":
+                self.retry_successes += 1
+                self._last_seen[remote.name] = self.sim.now
+                return fate, delay + waited
+        return "lost", 0.0
+
+    # ------------------------------------------------------------------ #
+    # Quote TTL eviction (driven at directory-session open)
+    # ------------------------------------------------------------------ #
+    def evict_stale_quotes(self, origin: "GridFederationAgent") -> None:
+        """Age out directory quotes of crashed members past the TTL.
+
+        Only members that are *actually* down are evicted — a live-but-quiet
+        peer keeps its quote — so the eviction is exactly an accelerated form
+        of the lazy negotiation-timeout discovery and routes through the
+        fault injector's bookkeeping to keep the directory-membership
+        invariant (directory == live ∪ joined ground truth) intact.
+        """
+        if math.isinf(self.policy.quote_ttl_s):
+            return
+        if origin.directory is None or origin.faults is None:
+            return
+        now = self.sim.now
+        for name in list(origin.directory.member_names()):
+            if name == origin.name:
+                continue
+            if now - self._last_seen.get(name, 0.0) <= self.policy.quote_ttl_s:
+                continue
+            peer = origin.registry.lookup(name)
+            if peer.alive:
+                continue
+            origin.faults.note_stale_quote(name)
+            self.evicted_quotes += 1
+
+    # ------------------------------------------------------------------ #
+    # Report
+    # ------------------------------------------------------------------ #
+    def report(self) -> ResilienceReport:
+        """Freeze the counters into the result's resilience block."""
+        open_circuits = sum(
+            1 for b in self._breakers.values() if b.state == CircuitBreaker.OPEN
+        )
+        return ResilienceReport(
+            policy=self.policy.key,
+            retries=self.retries,
+            retry_successes=self.retry_successes,
+            breaker_trips=self.breaker_trips,
+            breaker_skips=self.breaker_skips,
+            hedges=self.hedges,
+            hedged_wins=self.hedged_wins,
+            evicted_quotes=self.evicted_quotes,
+            backoff_wait_s=self.backoff_wait_s,
+            open_circuits=open_circuits,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"ResilienceManager(policy={self.policy.key!r})"

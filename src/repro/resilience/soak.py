@@ -1,0 +1,175 @@
+"""The chaos-soak harness: one fault plan, every resilience policy.
+
+Runs the *same* scenario under the *same* seeded fault plan once per
+registered (or requested) resilience policy and collects the headline
+robustness numbers side by side.  Because every run re-derives all simulation
+randomness from the scenario seed and the plan is rebuilt identically per
+policy, the only degree of freedom between rows is the policy itself — the
+comparison is causal, not statistical.
+
+This is what the chaos-soak CI gate and ``examples/resilience_chaos.py``
+drive; the acceptance test asserts that ``retry-breaker`` strictly reduces
+both lost jobs and the SLA-violation rate relative to ``paper``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (builtins load us)
+    from repro.faults.plan import FaultPlan
+    from repro.scenario.scenario import Scenario
+
+__all__ = [
+    "SoakRow",
+    "canonical_chaos_plan",
+    "canonical_chaos_scenario",
+    "chaos_soak",
+    "render_soak_table",
+]
+
+#: The default policy ladder of the soak: baseline, retries, full policy.
+DEFAULT_POLICIES = ("paper", "retry", "retry-breaker")
+
+#: Horizon of the canonical chaos-soak scenario (half a simulated day).
+CANONICAL_HORIZON = 12 * 3600.0
+
+
+def canonical_chaos_scenario(seed: int = 3, thin: int = 10) -> "Scenario":
+    """The scenario every chaos-soak gate runs: economy mode, moderate load."""
+    from repro.scenario.scenario import Scenario
+
+    return Scenario(
+        mode="economy",
+        workload="synthetic",
+        horizon=CANONICAL_HORIZON,
+        thin=thin,
+        seed=seed,
+    )
+
+
+def canonical_chaos_plan() -> "FaultPlan":
+    """The canonical chaos-soak fault plan: crashes plus a long lossy window.
+
+    One transient crash, one permanent crash, and a 35%-loss degraded-network
+    window spanning the whole run.  Tuned so that every resilience mechanism
+    demonstrably fires — enquiry/migration retries, circuit-breaker trips and
+    skips, hedged fail-overs, and a quote-TTL eviction of the permanently
+    dead member — while the full invariant suite stays green, and so that
+    ``retry-breaker`` strictly beats ``paper`` on both lost jobs and the
+    lost-inclusive SLA-violation rate at the canonical seeds.
+    """
+    from repro.faults.plan import FaultPlan
+
+    return (
+        FaultPlan()
+        .crash("LANL Origin", at=5_000.0, duration=9_000.0)
+        .crash("KTH SP2", at=22_000.0)
+        .perturb(0.0, 2 * CANONICAL_HORIZON, loss_rate=0.35, submission_delay=30.0)
+    )
+
+
+@dataclass(frozen=True)
+class SoakRow:
+    """One policy's outcome under the shared chaos plan."""
+
+    policy: str
+    jobs: int
+    completed: int
+    rejected: int
+    lost: int
+    #: Lost-inclusive SLA-violation rate: violations over completed + lost
+    #: jobs, with every lost job counted as a violation.  The completed-only
+    #: rate would *reward* losing jobs outright (survivorship artifact).
+    sla_violation_rate: float
+    retries: int
+    retry_successes: int
+    breaker_trips: int
+    hedged_wins: int
+    evicted_quotes: int
+    fingerprint: str
+
+
+def chaos_soak(
+    scenario: Optional["Scenario"] = None,
+    plan_factory: Callable[[], object] = canonical_chaos_plan,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    validate: bool = False,
+) -> List[SoakRow]:
+    """Run ``scenario`` under ``plan_factory()`` once per policy.
+
+    ``plan_factory`` is called fresh for every run so no mutable plan state
+    leaks between policies; every run reuses the scenario's seed, so rows
+    differ only by policy.  ``validate=True`` additionally runs the full
+    runtime-invariant suite inside each run.  Defaults run the canonical
+    chaos scenario under the canonical chaos plan.
+    """
+    from repro.metrics.collectors import sla_violation_rate
+    from repro.scenario.runner import result_fingerprint, run_scenario
+
+    if scenario is None:
+        scenario = canonical_chaos_scenario()
+    rows: List[SoakRow] = []
+    for policy in policies:
+        result = run_scenario(
+            scenario.replace(resilience=policy),
+            fault_plan=plan_factory(),
+            validate=validate,
+        )
+        resilience = result.resilience
+        rows.append(
+            SoakRow(
+                policy=policy,
+                jobs=len(result.jobs),
+                completed=len(result.completed_jobs()),
+                rejected=len(result.rejected_jobs()),
+                lost=len(result.failed_jobs()),
+                sla_violation_rate=sla_violation_rate(result, include_lost=True),
+                retries=resilience.retries if resilience else 0,
+                retry_successes=resilience.retry_successes if resilience else 0,
+                breaker_trips=resilience.breaker_trips if resilience else 0,
+                hedged_wins=resilience.hedged_wins if resilience else 0,
+                evicted_quotes=resilience.evicted_quotes if resilience else 0,
+                fingerprint=result_fingerprint(result),
+            )
+        )
+    return rows
+
+
+def render_soak_table(rows: Sequence[SoakRow], title: Optional[str] = None) -> str:
+    """Human-readable side-by-side table of a soak's rows."""
+    from repro.metrics.report import render_table
+
+    return render_table(
+        [
+            "Policy",
+            "Jobs",
+            "Completed",
+            "Rejected",
+            "Lost",
+            "SLA viol.",
+            "Retries",
+            "Retry wins",
+            "Trips",
+            "Hedged wins",
+            "Evicted",
+        ],
+        [
+            [
+                row.policy,
+                row.jobs,
+                row.completed,
+                row.rejected,
+                row.lost,
+                f"{row.sla_violation_rate:.3f}",
+                row.retries,
+                row.retry_successes,
+                row.breaker_trips,
+                row.hedged_wins,
+                row.evicted_quotes,
+            ]
+            for row in rows
+        ],
+        title=title or "Chaos soak — one fault plan, every resilience policy",
+    )

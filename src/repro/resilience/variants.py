@@ -1,0 +1,72 @@
+"""Built-in resilience policies, registered into the scenario registry.
+
+* ``paper`` (aliases ``none``, ``baseline``) — the paper's bare negotiation
+  path: no retries, no breakers, infinite quote TTL.  Resolves to ``None``,
+  so *nothing* is installed and every run is byte-identical to the
+  pre-resilience code.
+* ``noop`` — the full policy machinery installed with every knob off.  Runs
+  under ``noop`` must fingerprint identically to ``paper``; ``gridfed
+  bench`` re-verifies that no-overhead guarantee on every benchmark run.
+* ``retry`` — bounded retry with seeded exponential backoff + jitter for
+  enquiries and migrations; no breakers, no TTL.
+* ``retry-breaker`` (alias ``breaker``) — ``retry`` plus per-peer circuit
+  breakers, hedged fail-over away from flapping peers, and quote-TTL
+  eviction of crashed members.  The chaos-soak gate asserts this policy
+  strictly beats ``paper`` (fewer lost jobs, lower SLA-violation rate)
+  under the canonical chaos plan at identical seeds.
+
+Policy factories take the scenario and return an
+:class:`~repro.resilience.policy.ResiliencePolicy` (or ``None``); register
+your own with :func:`~repro.scenario.registry.register_resilience`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.resilience.policy import INERT_POLICY, ResiliencePolicy
+from repro.scenario.registry import register_resilience
+
+__all__ = ["paper_policy", "noop_policy", "retry_policy", "retry_breaker_policy"]
+
+
+@register_resilience("paper", aliases=("none", "baseline"))
+def paper_policy(scenario) -> Optional[ResiliencePolicy]:
+    """The paper's bare path: no policy object, no hooks, no overhead."""
+    return None
+
+
+@register_resilience("noop")
+def noop_policy(scenario) -> ResiliencePolicy:
+    """Machinery on, policy off — the overhead-measurement variant."""
+    return INERT_POLICY
+
+
+@register_resilience("retry")
+def retry_policy(scenario) -> ResiliencePolicy:
+    """Bounded retry with exponential backoff + jitter, nothing else."""
+    return ResiliencePolicy(
+        key="retry",
+        max_retries=2,
+        migration_retries=2,
+        backoff_base_s=5.0,
+        backoff_cap_s=120.0,
+        backoff_jitter=0.5,
+    )
+
+
+@register_resilience("retry-breaker", aliases=("breaker",))
+def retry_breaker_policy(scenario) -> ResiliencePolicy:
+    """Retries plus circuit breakers, hedging and quote-TTL eviction."""
+    return ResiliencePolicy(
+        key="retry-breaker",
+        max_retries=2,
+        migration_retries=2,
+        backoff_base_s=5.0,
+        backoff_cap_s=120.0,
+        backoff_jitter=0.5,
+        breaker_threshold=2,
+        breaker_cooldown_s=1800.0,
+        quote_ttl_s=2 * 3600.0,
+        hedge=True,
+    )

@@ -29,12 +29,14 @@ from repro.scenario.registry import (
     AGENT_REGISTRY,
     FAULT_REGISTRY,
     PRICING_REGISTRY,
+    RESILIENCE_REGISTRY,
     UnknownVariantError,
     VariantRegistry,
     WORKLOAD_REGISTRY,
     register_agent,
     register_fault,
     register_pricing,
+    register_resilience,
     register_workload,
 )
 
@@ -49,6 +51,7 @@ from repro.scenario.runner import (
     SweepResult,
     SweepRunner,
     resolve_fault_plan,
+    resolve_resilience_policy,
     resolve_resources,
     result_fingerprint,
     run_scenario,
@@ -58,12 +61,14 @@ __all__ = [
     "AGENT_REGISTRY",
     "FAULT_REGISTRY",
     "PRICING_REGISTRY",
+    "RESILIENCE_REGISTRY",
     "WORKLOAD_REGISTRY",
     "UnknownVariantError",
     "VariantRegistry",
     "register_agent",
     "register_fault",
     "register_pricing",
+    "register_resilience",
     "register_workload",
     "Scenario",
     "scenario_from_config",
@@ -71,6 +76,7 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "resolve_fault_plan",
+    "resolve_resilience_policy",
     "resolve_resources",
     "result_fingerprint",
     "run_scenario",

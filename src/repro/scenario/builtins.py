@@ -26,6 +26,10 @@ from repro.scenario.registry import register_agent, register_pricing, register_w
 # Importing the fault variants registers the built-in fault plans
 # ("none", "crash-recover", "churn", "flaky-network", "load-spike", "chaos").
 import repro.faults.variants  # noqa: F401  (registration side effect)
+
+# Importing the resilience variants registers the built-in policies
+# ("paper", "noop", "retry", "retry-breaker").
+import repro.resilience.variants  # noqa: F401  (registration side effect)
 from repro.sim.rng import RandomStreams
 from repro.workload.archive import ArchiveResource, build_workload
 from repro.workload.job import Job

@@ -41,10 +41,12 @@ __all__ = [
     "AGENT_REGISTRY",
     "FAULT_REGISTRY",
     "PRICING_REGISTRY",
+    "RESILIENCE_REGISTRY",
     "WORKLOAD_REGISTRY",
     "register_agent",
     "register_fault",
     "register_pricing",
+    "register_resilience",
     "register_workload",
 ]
 
@@ -159,6 +161,10 @@ PRICING_REGISTRY = VariantRegistry("pricing")
 WORKLOAD_REGISTRY = VariantRegistry("workload")
 #: Fault variants: plan factories ``(scenario, streams, specs) -> FaultPlan``.
 FAULT_REGISTRY = VariantRegistry("fault")
+#: Resilience variants: policy factories ``(scenario) ->
+#: Optional[ResiliencePolicy]`` (``None`` = the paper's bare negotiation
+#: path, nothing installed).
+RESILIENCE_REGISTRY = VariantRegistry("resilience")
 
 #: Decorator registering an agent class, e.g. ``@register_agent("mine")``.
 register_agent = AGENT_REGISTRY.register
@@ -168,3 +174,6 @@ register_pricing = PRICING_REGISTRY.register
 register_workload = WORKLOAD_REGISTRY.register
 #: Decorator registering a fault-plan factory, e.g. ``@register_fault("mine")``.
 register_fault = FAULT_REGISTRY.register
+#: Decorator registering a resilience-policy factory,
+#: e.g. ``@register_resilience("mine")``.
+register_resilience = RESILIENCE_REGISTRY.register

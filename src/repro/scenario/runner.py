@@ -31,6 +31,7 @@ from repro.scenario.registry import (
     AGENT_REGISTRY,
     FAULT_REGISTRY,
     PRICING_REGISTRY,
+    RESILIENCE_REGISTRY,
     WORKLOAD_REGISTRY,
 )
 from repro.scenario.scenario import Scenario
@@ -47,6 +48,7 @@ from repro.workload.job import Job, reset_job_counter
 __all__ = [
     "run_scenario",
     "resolve_fault_plan",
+    "resolve_resilience_policy",
     "result_fingerprint",
     "SweepPoint",
     "SweepResult",
@@ -126,6 +128,16 @@ def resolve_fault_plan(scenario: Scenario, specs) -> "FaultPlan":
     return factory(scenario, RandomStreams(scenario.seed), specs)
 
 
+def resolve_resilience_policy(scenario: Scenario):
+    """Resolve the scenario's ``resilience`` key into a policy (or ``None``).
+
+    ``None`` — what the default ``paper`` variant returns — means *install
+    nothing*: the federation keeps the bare, byte-identical negotiation path.
+    """
+    factory = RESILIENCE_REGISTRY.get(scenario.resilience)
+    return factory(scenario)
+
+
 def run_scenario(
     scenario: Scenario,
     *,
@@ -192,6 +204,9 @@ def run_scenario(
         # An empty plan installs nothing: the zero-fault path must stay
         # byte-identical to a federation that never heard of faults.
         federation.install_faults(plan)
+    policy = resolve_resilience_policy(scenario)
+    if policy is not None:
+        federation.install_resilience(policy)
     if validate:
         federation.install_validator()
     if checkpoint_dir is not None or checkpoint_every is not None or on_progress is not None:

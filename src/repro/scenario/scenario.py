@@ -33,6 +33,7 @@ from repro.scenario.registry import (
     AGENT_REGISTRY,
     FAULT_REGISTRY,
     PRICING_REGISTRY,
+    RESILIENCE_REGISTRY,
     WORKLOAD_REGISTRY,
 )
 
@@ -105,6 +106,14 @@ class Scenario:
         ``(time, priority, seq)`` event order — result fingerprints are
         byte-identical across backends — so this selects wall-clock
         behaviour only (see docs/PERFORMANCE.md).
+    resilience:
+        Key into the resilience registry (``"paper"``, ``"noop"``,
+        ``"retry"``, ``"retry-breaker"``, or anything registered via
+        :func:`repro.scenario.register_resilience`).  ``"paper"`` — the
+        default — installs nothing and keeps runs byte-identical to the
+        pre-resilience code; active policies add bounded retry/backoff,
+        per-peer circuit breakers and quote-TTL eviction to the negotiation
+        path (see :mod:`repro.resilience`).
     """
 
     mode: SharingMode = SharingMode.ECONOMY
@@ -125,6 +134,7 @@ class Scenario:
     directory_shards: int = 1
     engine: str = "heap"
     keep_message_records: bool = False
+    resilience: str = "paper"
 
     # ------------------------------------------------------------------ #
     # Validation
@@ -176,6 +186,7 @@ class Scenario:
             (PRICING_REGISTRY, self.pricing),
             (WORKLOAD_REGISTRY, self.workload),
             (FAULT_REGISTRY, self.faults),
+            (RESILIENCE_REGISTRY, self.resilience),
         ):
             entry = registry.entry(key)  # raises UnknownVariantError
             if not entry.supports(self.mode):
@@ -202,6 +213,7 @@ class Scenario:
             transport=self.transport,
             directory_shards=self.directory_shards,
             engine=self.engine,
+            resilience=self.resilience,
         )
 
     def replace(self, **changes) -> "Scenario":
@@ -234,6 +246,8 @@ class Scenario:
         )
         if self.faults != "none":
             summary += f" faults={self.faults}"
+        if self.resilience != "paper":
+            summary += f" resilience={self.resilience}"
         if self.transport != "uniform":
             summary += f" transport={self.transport}"
         if self.directory_shards != 1:
@@ -262,6 +276,7 @@ def scenario_from_config(config: FederationConfig, **overrides) -> Scenario:
         transport=config.transport,
         directory_shards=config.directory_shards,
         engine=config.engine,
+        resilience=config.resilience,
     )
     base.update(overrides)
     return Scenario(**base)

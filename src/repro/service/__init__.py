@@ -24,10 +24,11 @@ from repro.service.checkpoint import (
     run_checkpointed,
     snapshot_path,
 )
-from repro.service.client import DaemonClient, DaemonError
+from repro.service.client import DaemonClient, DaemonError, DaemonUnavailable
 from repro.service.daemon import (
     DaemonState,
     GridfedDaemon,
+    QueueFullError,
     scenario_from_fields,
     scenario_to_fields,
 )
@@ -53,8 +54,10 @@ __all__ = [
     "snapshot_path",
     "DaemonClient",
     "DaemonError",
+    "DaemonUnavailable",
     "DaemonState",
     "GridfedDaemon",
+    "QueueFullError",
     "scenario_from_fields",
     "scenario_to_fields",
     "SNAPSHOT_FORMAT_VERSION",

@@ -31,9 +31,12 @@ purely on the disk state — that is what makes crash recovery trivial.
 
 Endpoints (all JSON)::
 
-    GET  /health                    liveness + queue counts
+    GET  /health                    liveness + queue counts; "degraded" from
+                                    80% queue capacity, "saturated" at 100%
     GET  /jobs                      every submission record
-    POST /jobs                      {"scenario": {...}} -> record  (submit)
+    POST /jobs                      {"scenario": {...}} -> record  (submit);
+                                    429 + Retry-After once queued+running
+                                    reaches the --max-pending bound
     GET  /jobs/<id>                 record + latest progress       (status)
     GET  /jobs/<id>/result          result summary (409 until completed)
     POST /jobs/<id>/cancel          cooperative cancel
@@ -73,11 +76,35 @@ from repro.service.checkpoint import (
 __all__ = [
     "GridfedDaemon",
     "DaemonState",
+    "QueueFullError",
     "scenario_to_fields",
     "scenario_from_fields",
     "execute_submission",
     "result_summary",
 ]
+
+#: Default bound on queued + running submissions (backpressure threshold).
+DEFAULT_MAX_PENDING = 256
+
+#: Default wall-clock budget for reading one HTTP request (seconds).
+DEFAULT_REQUEST_DEADLINE = 30.0
+
+
+class QueueFullError(RuntimeError):
+    """The daemon's submission queue is at capacity (HTTP 429 upstream).
+
+    Carries ``retry_after`` — the seconds a well-behaved client should wait
+    before retrying, served as the 429 response's ``Retry-After`` header.
+    """
+
+    def __init__(self, pending: int, capacity: int, retry_after: float = 1.0):
+        super().__init__(
+            f"submission queue is full ({pending}/{capacity} pending); "
+            f"retry in {retry_after:.0f}s"
+        )
+        self.pending = pending
+        self.capacity = capacity
+        self.retry_after = retry_after
 
 _SCENARIO_FIELDS = {f.name for f in dataclasses.fields(Scenario)}
 
@@ -349,6 +376,8 @@ class GridfedDaemon:
         port: int = 0,
         workers: int = 1,
         checkpoint_interval: float = DEFAULT_CHECKPOINT_INTERVAL,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        request_deadline: float = DEFAULT_REQUEST_DEADLINE,
     ):
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
@@ -356,10 +385,18 @@ class GridfedDaemon:
             raise ValueError(
                 f"checkpoint interval must be positive, got {checkpoint_interval}"
             )
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be at least 1, got {max_pending}")
+        if request_deadline <= 0:
+            raise ValueError(
+                f"request_deadline must be positive, got {request_deadline}"
+            )
         self.state = DaemonState(state_dir)
         self.cache = PersistentResultCache(self.state.cache_dir())
         self.workers = workers
         self.checkpoint_interval = checkpoint_interval
+        self.max_pending = max_pending
+        self.request_deadline = request_deadline
         self._tasks: "queue_module.Queue[str]" = queue_module.Queue()
         self._lock = threading.Lock()
         self._stopping = threading.Event()
@@ -470,6 +507,14 @@ class GridfedDaemon:
     # ------------------------------------------------------------------ #
     # Operations called by the HTTP handler
     # ------------------------------------------------------------------ #
+    def _pending_count(self) -> int:
+        """Queued + running submissions (the backpressure measure)."""
+        return sum(
+            1
+            for record in self.state.list_records()
+            if record.get("status") in _ACTIVE
+        )
+
     def submit(
         self,
         fields: Dict[str, object],
@@ -482,6 +527,12 @@ class GridfedDaemon:
             )
         key = scenario.scenario_hash()
         with self._lock:
+            pending = self._pending_count()
+            if pending >= self.max_pending:
+                # Bounded admission: shed load instead of queueing without
+                # limit.  Memoised duplicates are shed too — serving them
+                # would still read the whole cache under a saturated daemon.
+                raise QueueFullError(pending, self.max_pending)
             sid = self.state.allocate_id()
             order = int(sid.split("-")[1])
             record: Dict[str, object] = {
@@ -536,11 +587,21 @@ class GridfedDaemon:
         for record in self.state.list_records():
             status = str(record.get("status"))
             counts[status] = counts.get(status, 0) + 1
+        pending = counts.get("queued", 0) + counts.get("running", 0)
+        # Graceful degradation reporting: "degraded" from 80% capacity —
+        # load balancers can drain early instead of slamming into 429s.
+        status = "ok"
+        if pending >= self.max_pending:
+            status = "saturated"
+        elif pending >= 0.8 * self.max_pending:
+            status = "degraded"
         return {
-            "status": "ok",
+            "status": status,
             "workers": self.workers,
             "checkpoint_interval": self.checkpoint_interval,
             "jobs": counts,
+            "pending": pending,
+            "capacity": self.max_pending,
         }
 
 
@@ -555,19 +616,34 @@ class _DaemonRequestHandler(BaseHTTPRequestHandler):
     server: _DaemonHTTPServer
 
     # --------------------------- plumbing ------------------------------ #
+    def setup(self) -> None:
+        # Per-request deadline: a stalled or half-open client connection
+        # times out instead of pinning a handler thread forever.
+        self.timeout = self.server.daemon_ref.request_deadline
+        super().setup()
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # requests are not worth a stderr line each
 
-    def _send_json(self, payload: Dict[str, object], status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: Dict[str, object],
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, message: str, status: int) -> None:
-        self._send_json({"error": message}, status=status)
+    def _error(
+        self, message: str, status: int, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        self._send_json({"error": message}, status=status, headers=headers)
 
     def _read_body(self) -> Dict[str, object]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -621,6 +697,11 @@ class _DaemonRequestHandler(BaseHTTPRequestHandler):
                 threading.Thread(target=daemon.stop, daemon=True).start()
             else:
                 self._error(f"no such endpoint: POST {self.path}", 404)
+        except QueueFullError as exc:
+            # Explicit backpressure: the client should back off and retry.
+            self._error(
+                str(exc), 429, headers={"Retry-After": f"{exc.retry_after:.0f}"}
+            )
         except KeyError:
             self._error(f"unknown submission id {parts[1]!r}", 404)
         except (ValueError, TypeError, UnknownVariantError) as exc:

@@ -1,0 +1,124 @@
+"""Property tests: every resilience policy preserves every invariant.
+
+Hypothesis draws a random fault plan (expanded through the repository's own
+seeded streams), a scenario seed, a sharing mode and a *resilience policy*
+from the registered ladder; every drawn combination must run to completion
+with the whole runtime-invariant suite green.  Two sharper properties ride
+along: the ``noop`` policy must stay byte-identical to ``paper`` under any
+fault plan (the machinery-without-behaviour guarantee), and any active
+policy must be deterministic — the backoff stream is seeded, so a
+``(seed, plan, policy)`` triple reproduces exactly.
+
+Marked ``invariants``: excluded from the default (tier-1) run and executed
+as a separate CI matrix entry with a fixed hypothesis seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultKind, FaultPlan, random_fault_plan
+from repro.scenario import Scenario, result_fingerprint, run_scenario
+from repro.validate import validate_result
+from repro.workload.job import JobStatus
+
+pytestmark = pytest.mark.invariants
+
+#: Small but over-subscribed: every run migrates and negotiates.
+_HORIZON = 6 * 3600.0
+_TERMINAL = (JobStatus.COMPLETED, JobStatus.REJECTED, JobStatus.FAILED)
+
+#: The registered policy ladder (canonical keys).
+_POLICIES = ("paper", "noop", "retry", "retry-breaker")
+
+
+def _scenario(mode: str, seed: int, policy: str) -> Scenario:
+    return Scenario(
+        mode=mode,
+        workload="synthetic",
+        horizon=_HORIZON,
+        thin=25,
+        seed=seed,
+        oft_fraction=0.3,
+        resilience=policy,
+    )
+
+
+def _draw_plan(plan_seed: int, cluster_names, lossy: bool) -> FaultPlan:
+    rng = np.random.default_rng(plan_seed)
+    return random_fault_plan(
+        rng,
+        cluster_names,
+        _HORIZON,
+        max_events=5,
+        kinds=(FaultKind.CRASH, FaultKind.LEAVE, FaultKind.LOAD_SPIKE),
+        max_loss_rate=0.3 if lossy else 0.0,
+        submission_delay=60.0 if lossy else 0.0,
+    )
+
+
+@given(
+    plan_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    scenario_seed=st.integers(min_value=0, max_value=10_000),
+    mode=st.sampled_from(["federation", "economy"]),
+    policy=st.sampled_from(_POLICIES),
+    lossy=st.booleans(),
+)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_every_policy_preserves_every_invariant(
+    plan_seed, scenario_seed, mode, policy, lossy
+):
+    scenario = _scenario(mode, scenario_seed, policy)
+    probe = run_scenario(scenario.replace(thin=400))  # cheap spec discovery
+    plan = _draw_plan(plan_seed, probe.resource_names(), lossy)
+    result = run_scenario(scenario, fault_plan=plan, validate=True)
+    violations = validate_result(result)
+    assert violations == [], [str(v) for v in violations]
+    assert all(job.status in _TERMINAL for job in result.jobs)
+    if policy == "paper":
+        assert result.resilience is None
+    else:
+        assert result.resilience is not None
+        assert result.resilience.policy == policy
+        # Counters are consistent: a retry can win at most once.
+        assert result.resilience.retry_successes <= result.resilience.retries
+
+
+@given(
+    plan_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    scenario_seed=st.integers(min_value=0, max_value=10_000),
+    mode=st.sampled_from(["federation", "economy"]),
+)
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_noop_stays_byte_identical_to_paper_under_any_plan(
+    plan_seed, scenario_seed, mode
+):
+    """Installed-but-inert machinery never perturbs a run, faults included."""
+    paper = _scenario(mode, scenario_seed, "paper")
+    probe = run_scenario(paper.replace(thin=400))
+    plan = _draw_plan(plan_seed, probe.resource_names(), lossy=True)
+    baseline = run_scenario(paper, fault_plan=plan)
+    inert = run_scenario(paper.replace(resilience="noop"), fault_plan=plan)
+    assert result_fingerprint(baseline) == result_fingerprint(inert)
+    assert inert.resilience is not None
+    assert inert.resilience.retries == 0
+
+
+@given(
+    plan_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    scenario_seed=st.integers(min_value=0, max_value=10_000),
+    policy=st.sampled_from(("retry", "retry-breaker")),
+)
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_active_policies_are_deterministic(plan_seed, scenario_seed, policy):
+    """The seeded backoff stream makes any (seed, plan, policy) reproduce."""
+    scenario = _scenario("economy", scenario_seed, policy)
+    probe = run_scenario(scenario.replace(thin=400))
+    plan = _draw_plan(plan_seed, probe.resource_names(), lossy=True)
+    first = run_scenario(scenario, fault_plan=plan)
+    second = run_scenario(scenario, fault_plan=plan)
+    assert result_fingerprint(first) == result_fingerprint(second)
+    assert first.resilience == second.resilience

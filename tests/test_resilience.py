@@ -1,0 +1,225 @@
+"""Tests for the resilience policy layer (retry/backoff, breakers, TTLs).
+
+Covers the registry plumbing, policy validation, the circuit-breaker state
+machine in isolation, the byte-identity guarantees (``paper`` installs
+nothing; ``noop`` installs everything and must still fingerprint identically),
+determinism of the seeded backoff stream, and — the acceptance gate — the
+canonical chaos soak in which ``retry-breaker`` must strictly beat ``paper``
+on both lost jobs and the lost-inclusive SLA-violation rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import fault_metrics, network_summary, resilience_summary, sla_violation_rate
+from repro.resilience import (
+    INERT_POLICY,
+    CircuitBreaker,
+    ResiliencePolicy,
+    canonical_chaos_plan,
+    canonical_chaos_scenario,
+    chaos_soak,
+    render_soak_table,
+)
+from repro.scenario import (
+    RESILIENCE_REGISTRY,
+    Scenario,
+    resolve_resilience_policy,
+    result_fingerprint,
+    run_scenario,
+)
+
+#: Small fault-free scenario: fast, still negotiates and migrates.
+def _fast(seed=7, **overrides):
+    fields = dict(workload="synthetic", horizon=4 * 3600.0, thin=20, seed=seed)
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+class TestRegistry:
+    def test_paper_and_aliases_resolve_to_no_policy(self):
+        for key in ("paper", "none", "baseline"):
+            assert resolve_resilience_policy(_fast(resilience=key)) is None
+
+    def test_noop_resolves_to_inert_policy(self):
+        assert resolve_resilience_policy(_fast(resilience="noop")) is INERT_POLICY
+
+    def test_breaker_alias_matches_canonical_key(self):
+        canonical = resolve_resilience_policy(_fast(resilience="retry-breaker"))
+        alias = resolve_resilience_policy(_fast(resilience="breaker"))
+        assert canonical == alias
+        assert canonical.key == "retry-breaker"
+
+    def test_builtin_ladder_is_registered(self):
+        for key in ("paper", "noop", "retry", "retry-breaker"):
+            assert key in RESILIENCE_REGISTRY
+
+    def test_unknown_variant_rejected_at_scenario_construction(self):
+        with pytest.raises(KeyError) as excinfo:
+            _fast(resilience="frobnicate")
+        assert "frobnicate" in str(excinfo.value)
+
+
+class TestPolicyValidation:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(migration_retries=-1)
+
+    def test_jitter_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(backoff_jitter=1.5)
+
+    def test_non_positive_cooldown_and_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(breaker_cooldown_s=0.0)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(quote_ttl_s=0.0)
+
+    def test_inert_policy_has_every_knob_off(self):
+        assert INERT_POLICY.max_retries == 0
+        assert INERT_POLICY.migration_retries == 0
+        assert INERT_POLICY.breaker_threshold == 0
+        assert not INERT_POLICY.hedge
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold_and_blocks_within_cooldown(self):
+        breaker = CircuitBreaker()
+        assert not breaker.on_failure(now=10.0, threshold=2)
+        assert breaker.allow(now=11.0, cooldown_s=100.0)
+        assert breaker.on_failure(now=12.0, threshold=2)  # trips
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow(now=50.0, cooldown_s=100.0)
+
+    def test_half_open_probe_success_closes(self):
+        breaker = CircuitBreaker()
+        breaker.on_failure(now=0.0, threshold=1)
+        assert breaker.allow(now=200.0, cooldown_s=100.0)  # cooldown elapsed
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.on_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.failures == 0
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker()
+        breaker.on_failure(now=0.0, threshold=2)
+        breaker.on_failure(now=1.0, threshold=2)
+        assert breaker.allow(now=500.0, cooldown_s=100.0)
+        assert breaker.on_failure(now=500.0, threshold=2)  # re-trips at once
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opened_at == 500.0
+
+    def test_zero_threshold_never_trips(self):
+        breaker = CircuitBreaker()
+        for t in range(10):
+            assert not breaker.on_failure(now=float(t), threshold=0)
+        assert breaker.state == CircuitBreaker.CLOSED
+
+
+class TestByteIdentity:
+    def test_paper_installs_nothing(self):
+        result = run_scenario(_fast(resilience="paper"))
+        assert result.resilience is None
+
+    def test_noop_fingerprints_identically_to_paper(self):
+        paper = run_scenario(_fast(resilience="paper"))
+        noop = run_scenario(_fast(resilience="noop"))
+        assert result_fingerprint(paper) == result_fingerprint(noop)
+        # The machinery was installed but never acted.
+        report = noop.resilience
+        assert report is not None
+        assert report.policy == "noop"
+        assert report.retries == 0
+        assert report.breaker_trips == 0
+        assert report.evicted_quotes == 0
+
+    def test_active_policy_is_deterministic_under_chaos(self):
+        scenario = canonical_chaos_scenario().replace(resilience="retry-breaker")
+        first = run_scenario(scenario, fault_plan=canonical_chaos_plan())
+        second = run_scenario(scenario, fault_plan=canonical_chaos_plan())
+        assert result_fingerprint(first) == result_fingerprint(second)
+        assert first.resilience == second.resilience
+
+
+@pytest.fixture(scope="module")
+def soak_rows():
+    return chaos_soak(validate=True)
+
+
+@pytest.fixture(scope="module")
+def breaker_result():
+    return run_scenario(
+        canonical_chaos_scenario().replace(resilience="retry-breaker"),
+        fault_plan=canonical_chaos_plan(),
+    )
+
+
+class TestChaosSoak:
+    """The acceptance gate: retry-breaker strictly beats paper under chaos."""
+
+    def test_policies_share_the_workload(self, soak_rows):
+        assert [row.policy for row in soak_rows] == ["paper", "retry", "retry-breaker"]
+        assert len({row.jobs for row in soak_rows}) == 1
+
+    def test_retry_breaker_strictly_beats_paper(self, soak_rows):
+        paper = next(row for row in soak_rows if row.policy == "paper")
+        breaker = next(row for row in soak_rows if row.policy == "retry-breaker")
+        assert breaker.lost < paper.lost
+        assert breaker.sla_violation_rate < paper.sla_violation_rate
+        assert breaker.completed > paper.completed
+
+    def test_every_mechanism_fires(self, soak_rows):
+        breaker = next(row for row in soak_rows if row.policy == "retry-breaker")
+        assert breaker.retries > 0
+        assert breaker.retry_successes > 0
+        assert breaker.breaker_trips > 0
+        assert breaker.hedged_wins > 0
+        assert breaker.evicted_quotes > 0
+
+    def test_paper_row_carries_no_policy_counters(self, soak_rows):
+        paper = next(row for row in soak_rows if row.policy == "paper")
+        assert paper.retries == 0
+        assert paper.breaker_trips == 0
+        assert paper.evicted_quotes == 0
+
+    def test_render_soak_table_lists_every_policy(self, soak_rows):
+        text = render_soak_table(soak_rows)
+        for row in soak_rows:
+            assert row.policy in text
+
+
+class TestCollectors:
+    def test_resilience_summary_mirrors_the_report(self, breaker_result):
+        summary = resilience_summary(breaker_result)
+        report = breaker_result.resilience
+        assert summary["policy"] == "retry-breaker"
+        assert summary["retries"] == report.retries
+        assert summary["breaker_skips"] == report.breaker_skips
+        assert summary["backoff_wait_s"] == pytest.approx(report.backoff_wait_s)
+
+    def test_fault_metrics_carries_resilience_counters(self, breaker_result):
+        metrics = fault_metrics(breaker_result)
+        report = breaker_result.resilience
+        assert metrics.retries == report.retries
+        assert metrics.breaker_trips == report.breaker_trips
+        assert metrics.evicted_quotes == report.evicted_quotes
+
+    def test_network_summary_embeds_resilience_block(self, breaker_result):
+        summary = network_summary(breaker_result)
+        assert summary["resilience"]["policy"] == "retry-breaker"
+        # A paper run has no block at all — absence, not zeros.
+        assert "resilience" not in network_summary(run_scenario(_fast()))
+
+    def test_lost_inclusive_sla_rate_counts_lost_as_violations(self, breaker_result):
+        completed_only = sla_violation_rate(breaker_result)
+        with_lost = sla_violation_rate(breaker_result, include_lost=True)
+        lost = len(breaker_result.failed_jobs())
+        assert lost > 0
+        assert with_lost > completed_only
+
+    def test_stale_eviction_counted_on_fault_report(self, breaker_result):
+        assert breaker_result.faults is not None
+        assert breaker_result.faults.stale_evictions == breaker_result.resilience.evicted_quotes

@@ -11,6 +11,7 @@ error responses, and the durable-queue recovery path.
 from __future__ import annotations
 
 import json
+import threading
 import time
 import urllib.request
 
@@ -18,7 +19,7 @@ import pytest
 
 from repro.scenario import Scenario, result_fingerprint, run_scenario
 from repro.service import DaemonClient, DaemonError, GridfedDaemon
-from repro.service.daemon import scenario_from_fields, scenario_to_fields
+from repro.service.daemon import QueueFullError, scenario_from_fields, scenario_to_fields
 
 #: Small-but-active scenarios: the compressed synthetic horizon keeps each
 #: run well under a second while still migrating and settling payments.
@@ -179,6 +180,130 @@ class TestServingLoop:
         with pytest.raises(DaemonError) as excinfo:
             client.submit(_fast(), checkpoint_interval=-5.0)
         assert excinfo.value.status == 400
+
+
+class TestBackpressure:
+    def test_queue_full_is_429_with_retry_after(self, tmp_path):
+        """A saturated daemon sheds load with an explicit 429 + Retry-After."""
+        daemon = GridfedDaemon(tmp_path / "state", port=0, workers=1, max_pending=1)
+        daemon.start()
+        impatient = DaemonClient(daemon.address, timeout=10.0, retries=0)
+        try:
+            blocker = impatient.submit(_fast(seed=40, thin=1, horizon=72 * 3600.0))
+            with pytest.raises(DaemonError) as excinfo:
+                impatient.submit(_fast(seed=41))
+            assert excinfo.value.status == 429
+            # The raw response must carry a parseable Retry-After header.
+            body = json.dumps({"scenario": scenario_to_fields(_fast(seed=42))})
+            request = urllib.request.Request(
+                daemon.address + "/jobs",
+                data=body.encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as http_excinfo:
+                urllib.request.urlopen(request, timeout=5.0)
+            assert http_excinfo.value.code == 429
+            assert float(http_excinfo.value.headers["Retry-After"]) > 0
+            impatient.cancel(blocker)
+        finally:
+            daemon.stop()
+
+    def test_patient_client_backs_off_through_429_and_completes(self, tmp_path):
+        """Queue full -> 429 -> client backs off -> slot frees -> completes."""
+        daemon = GridfedDaemon(tmp_path / "state", port=0, workers=1, max_pending=1)
+        daemon.start()
+        impatient = DaemonClient(daemon.address, timeout=10.0, retries=0)
+        patient = DaemonClient(
+            daemon.address, timeout=10.0, retries=40, backoff_base=0.05, backoff_cap=0.25
+        )
+        try:
+            blocker = impatient.submit(_fast(seed=43, thin=1, horizon=72 * 3600.0))
+            with pytest.raises(DaemonError):
+                impatient.submit(_fast(seed=44))  # saturated right now
+            # Free the slot shortly; the patient client retries through the
+            # 429 window and its submission then runs to completion.
+            threading.Timer(0.5, lambda: impatient.cancel(blocker)).start()
+            sid = patient.submit(_fast(seed=44))
+            record = patient.wait(sid, timeout=120.0)
+            assert record["status"] == "completed", record.get("error")
+        finally:
+            daemon.stop()
+
+    def test_health_degrades_before_saturating(self, tmp_path):
+        """Health reports degraded from 80% capacity, saturated at 100%."""
+        # Never started: submissions stay queued, so the fill level is exact.
+        daemon = GridfedDaemon(tmp_path / "state", port=0, workers=1, max_pending=5)
+        try:
+            for seed in range(4):
+                daemon.submit(scenario_to_fields(_fast(seed=100 + seed)))
+            assert daemon.health()["status"] == "degraded"  # 4/5 >= 80%
+            daemon.submit(scenario_to_fields(_fast(seed=104)))
+            health = daemon.health()
+            assert health["status"] == "saturated"
+            assert health["pending"] == health["capacity"] == 5
+            with pytest.raises(QueueFullError) as excinfo:
+                daemon.submit(scenario_to_fields(_fast(seed=105)))
+            assert excinfo.value.pending == 5
+            assert excinfo.value.retry_after > 0
+        finally:
+            daemon._httpd.server_close()
+
+    def test_max_pending_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            GridfedDaemon(tmp_path / "a", port=0, max_pending=0)
+        with pytest.raises(ValueError):
+            GridfedDaemon(tmp_path / "b", port=0, request_deadline=0.0)
+
+
+class TestKillRestartMidWait:
+    def test_wait_survives_daemon_restart(self, tmp_path):
+        """A client mid-``wait`` rides out a daemon death and restart.
+
+        The daemon goes down while the client is polling; the client absorbs
+        the unreachable window (connection refused -> DaemonUnavailable ->
+        keep polling), a fresh daemon on the same port re-adopts the
+        in-flight submission from the durable queue, and the wait completes
+        with the byte-identical fingerprint.
+        """
+        state = tmp_path / "state"
+        daemon = GridfedDaemon(state, port=0, workers=1, checkpoint_interval=600.0)
+        daemon.start()
+        port = int(daemon.address.rsplit(":", 1)[1])
+        client = DaemonClient(
+            daemon.address, timeout=5.0, retries=2, backoff_base=0.05, backoff_cap=0.25
+        )
+        scenario = _fast(seed=60, thin=1, horizon=72 * 3600.0)
+        sid = client.submit(scenario)
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if client.status(sid)["status"] == "running":
+                break
+            time.sleep(0.02)
+        outcome = {}
+
+        def waiter():
+            try:
+                outcome["record"] = client.wait(sid, timeout=240.0)
+            except Exception as exc:  # noqa: BLE001 - surfaced by the assert
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        daemon.stop()  # from the client's view: the daemon just died
+        time.sleep(0.5)  # let the wait poll into the unreachable window
+        revived = GridfedDaemon(state, port=port, workers=1, checkpoint_interval=600.0)
+        revived.start()
+        try:
+            thread.join(timeout=300.0)
+            assert not thread.is_alive(), "wait() never returned after restart"
+            assert "error" not in outcome, outcome.get("error")
+            assert outcome["record"]["status"] == "completed"
+            assert outcome["record"]["fingerprint"] == result_fingerprint(
+                run_scenario(scenario)
+            )
+        finally:
+            revived.stop()
 
 
 class TestDurableQueue:
