@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""CI parallel-engine smoke: fallback parity at scale, backend parity in full.
+
+Three checks, all hard failures:
+
+1. **Serial reference** — the Exp-5 shape at 256 clusters (4x the paper's
+   largest federation), run serially, capturing its result fingerprint.
+2. **Fallback parity through the CLI** — the same shape via
+   ``gridfed run --workers 4 --validate``.  Runtime validation (and the
+   zero-latency uniform fabric) gate the parallel engine, so the run must
+   degrade to the serial path, say so on its ``par:`` summary line, pass
+   every invariant, and reproduce the reference fingerprint bit for bit.
+3. **Backend parity** — an eligible two-tier-WAN economy federation executed
+   on the in-process serial-parity oracle and on the multiprocess backend:
+   the two fingerprints must match, and a second multiprocess run must
+   reproduce the first (determinism).
+
+Usage::
+
+    PYTHONPATH=src python scripts/par_smoke.py [--size 256] [--workers 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import sys
+import warnings
+
+
+def _fingerprint(stdout: str) -> str:
+    return stdout.rsplit("fingerprint=", 1)[1].split()[0]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=256)
+    parser.add_argument("--thin", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--par-size", type=int, default=64,
+                        help="federation size of the eligible backend-parity run")
+    args = parser.parse_args()
+
+    from repro.cli import main as cli_main
+    from repro.par.runner import try_parallel_run
+    from repro.scenario import Scenario, result_fingerprint, run_scenario
+
+    print(f"[par-smoke] serial reference: Exp-5 shape at {args.size} clusters",
+          flush=True)
+    serial = run_scenario(
+        Scenario(system_size=args.size, thin=args.thin, seed=args.seed)
+    )
+    expected = result_fingerprint(serial)
+    print(f"[par-smoke] reference fingerprint: {expected}", flush=True)
+
+    cli_args = [
+        "run", "--size", str(args.size), "--thin", str(args.thin),
+        "--seed", str(args.seed), "--workers", str(args.workers), "--validate",
+    ]
+    print(f"[par-smoke] CLI fallback run: gridfed {' '.join(cli_args)}", flush=True)
+    stdout = io.StringIO()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with contextlib.redirect_stdout(stdout):
+            code = cli_main(cli_args)
+    output = stdout.getvalue()
+    if code != 0:
+        print(f"[par-smoke] FAIL: CLI run exited {code}", file=sys.stderr)
+        return 1
+    if "par: serial fallback" not in output:
+        print("[par-smoke] FAIL: summary lacks the serial-fallback par: line",
+              file=sys.stderr)
+        return 1
+    if "invariants: all checks passed" not in output:
+        print("[par-smoke] FAIL: invariant checks did not report success",
+              file=sys.stderr)
+        return 1
+    actual = _fingerprint(output)
+    if actual != expected:
+        print(f"[par-smoke] FAIL: fallback fingerprint {actual} != serial "
+              f"reference {expected}", file=sys.stderr)
+        return 1
+    print("[par-smoke] fallback run is byte-identical to the serial reference",
+          flush=True)
+
+    parallel_scenario = Scenario(
+        system_size=args.par_size,
+        thin=args.thin,
+        seed=args.seed,
+        transport="two-tier-wan",
+    )
+    print(f"[par-smoke] backend parity: two-tier WAN at {args.par_size} "
+          f"clusters, {args.workers} workers", flush=True)
+    digests = {}
+    for backend in ("oracle", "process"):
+        result, stats = try_parallel_run(
+            parallel_scenario, workers=args.workers, backend=backend
+        )
+        if result is None:
+            print(f"[par-smoke] FAIL: parallel dispatch declined "
+                  f"({stats.fallback_reason})", file=sys.stderr)
+            return 1
+        digests[backend] = result_fingerprint(result)
+        print(f"[par-smoke] {backend}: {stats.describe()}", flush=True)
+    if digests["oracle"] != digests["process"]:
+        print("[par-smoke] FAIL: multiprocess backend diverged from the "
+              "serial-parity oracle", file=sys.stderr)
+        return 1
+    repeat, _ = try_parallel_run(
+        parallel_scenario, workers=args.workers, backend="process"
+    )
+    if result_fingerprint(repeat) != digests["process"]:
+        print("[par-smoke] FAIL: repeated multiprocess run was not "
+              "deterministic", file=sys.stderr)
+        return 1
+    print("[par-smoke] OK: fallback parity at scale, oracle/process parity, "
+          "deterministic reruns")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,11 @@ scenarios from the shell::
     # the message fabric: WAN topologies and a sharded directory:
     gridfed run --topology two-tier-wan --shards 4 --thin 10 --validate
 
+    # the conservative parallel engine: shard the federation across worker
+    # processes with lookahead-window synchronisation (needs a topology with
+    # nonzero cross-shard latency; ineligible runs fall back serially):
+    gridfed run --topology two-tier-wan --size 256 --workers 4 --thin 16
+
     # parameter sweeps, parallel and memo-hashed:
     gridfed sweep --profiles 0 10 20 30 40 50 60 70 80 90 100 --workers 4
     gridfed sweep --sizes 10 20 30 --profiles 0 100 --thin 5 --workers 4
@@ -45,7 +50,11 @@ scenarios from the shell::
 ``--thin N`` keeps every N-th job and makes exploratory runs fast; the
 EXPERIMENTS.md record was produced with ``--thin 1`` (the default).
 ``--workers N`` runs sweep points across N processes — results are identical
-to the serial path (every point re-seeds from its own scenario).
+to the serial path (every point re-seeds from its own scenario).  On ``run``
+and ``profile`` it instead shards one federation across N worker processes
+(the conservative parallel engine); the run summary gains a ``par:`` line
+reporting windows, cross-shard traffic and per-worker load, or the fallback
+diagnostic when the scenario must run serially.
 """
 
 from __future__ import annotations
@@ -262,6 +271,7 @@ def cmd_run(args) -> str:
             validate=args.validate,
             checkpoint_dir=args.checkpoint,
             checkpoint_every=args.checkpoint_interval,
+            workers=args.workers,
         )
     table = render_table(
         _PROCESSING_HEADERS,
@@ -302,6 +312,8 @@ def cmd_run(args) -> str:
             f"latency={net.latency_s:.1f}s timeouts={net.timeouts} "
             f"delayed={net.delayed_deliveries} directory_msgs={net.control_messages}\n"
         )
+    if result.parallel is not None:
+        summary += f"par: {result.parallel.describe()}\n"
     if args.validate:
         summary += "invariants: all checks passed\n"
     return table + summary
@@ -429,7 +441,9 @@ def cmd_profile(args) -> str:
     from repro.perf import profile_scenario
 
     scenario = _scenario_from_args(args)
-    return profile_scenario(scenario, top=args.top, sort=args.sort)
+    return profile_scenario(
+        scenario, top=args.top, sort=args.sort, workers=args.workers
+    )
 
 
 def cmd_daemon(args) -> str:
@@ -574,7 +588,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="worker processes for sweep-style commands (default: serial)",
+        help="worker processes: sweep points for sweep-style commands; "
+        "federation shards for run/profile via the conservative parallel "
+        "engine (ineligible scenarios fall back serially with a diagnostic)",
     )
 
     parser = argparse.ArgumentParser(

@@ -73,6 +73,10 @@ class SpaceSharedLRMS:
         # running/queued jobs changes (admission control may probe the same
         # state many times between changes).
         self._state_version: int = 0
+        #: Optional hook fired on every state change (the parallel engine
+        #: sets it to maintain a dirty set instead of scanning every cluster
+        #: at every barrier); ``None`` costs one attribute check.
+        self.on_state_change: Optional[Callable[[], None]] = None
         self._profile_cache: Optional[Tuple[AvailabilityProfile, float]] = None
         self._profile_cache_version: int = -1
         # Accounting
@@ -114,6 +118,12 @@ class SpaceSharedLRMS:
             raise ValueError("observation period must be positive")
         return self.busy_node_seconds / (self.spec.num_processors * period)
 
+    def _touch(self) -> None:
+        """Record a queue/running-set change (and notify any observer)."""
+        self._state_version += 1
+        if self.on_state_change is not None:
+            self.on_state_change()
+
     # ------------------------------------------------------------------ #
     # Submission and execution
     # ------------------------------------------------------------------ #
@@ -126,7 +136,7 @@ class SpaceSharedLRMS:
             )
         job.mark_queued(self.spec.name)
         self.jobs_submitted += 1
-        self._state_version += 1
+        self._touch()
         self._queue.append(job)
         self._dispatch()
 
@@ -200,7 +210,7 @@ class SpaceSharedLRMS:
         self._finish_events[job.job_id] = self.sim.schedule(runtime, self._finish, job.job_id)
 
     def _finish(self, job_id: int) -> None:
-        self._state_version += 1
+        self._touch()
         self._finish_events.pop(job_id, None)
         job, _finish = self._running.pop(job_id)
         self.nodes.release(job_id)
@@ -240,7 +250,7 @@ class SpaceSharedLRMS:
         self._running.clear()
         killed.extend(self._queue)
         self._queue.clear()
-        self._state_version += 1
+        self._touch()
         return killed
 
     # ------------------------------------------------------------------ #
@@ -308,6 +318,26 @@ class SpaceSharedLRMS:
         """
         _profile, queue_tail_start = self._estimation_profile()
         return max(queue_tail_start - self.sim.now, 0.0)
+
+    def queue_tail_hint(self) -> float:
+        """Cheap work-conserving estimate of the current queueing delay.
+
+        Outstanding node-seconds (remaining running work plus the whole
+        queue) divided by the cluster's capacity — a lower bound on the FCFS
+        queue-tail wait that ignores fragmentation, at a fraction of
+        :meth:`expected_wait`'s cost (no availability profile is built).  The
+        parallel engine publishes this as the per-window load snapshot, where
+        the value is approximate by design anyway (a snapshot is stale by up
+        to one barrier window before any proxy reads it).
+        """
+        now = self.sim.now
+        node_seconds = sum(
+            (finish - now) * job.num_processors
+            for job, finish in self._running.values()
+        )
+        for job in self._queue:
+            node_seconds += self.runtime_of(job) * job.num_processors
+        return max(node_seconds / self.spec.num_processors, 0.0)
 
     def can_meet_deadline(self, job: Job) -> bool:
         """True if the job's absolute deadline can (still) be met here."""

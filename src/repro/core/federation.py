@@ -39,6 +39,7 @@ from repro.workload.qos import assign_qos, assign_strategies
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.injector import FaultInjector, FaultReport
     from repro.faults.plan import FaultPlan
+    from repro.par.stats import ParallelStats
     from repro.resilience.policy import ResilienceManager, ResiliencePolicy, ResilienceReport
     from repro.validate import RuntimeValidator
 
@@ -86,6 +87,14 @@ class FederationConfig:
         config only *names* the policy — installation happens through
         :meth:`Federation.install_resilience`, which the scenario runner
         drives for any key that resolves to an active policy.
+    workers:
+        Parallel-engine worker count the run was configured with (0 or 1 =
+        the plain single-process path; ``N >= 2`` = the conservative
+        parallel engine in :mod:`repro.par` shards the federation across N
+        workers).  Like ``resilience``, the config only *names* the shape:
+        the scenario runner dispatches eligible runs to the parallel engine,
+        and each shard's federation is built with the full worker count so
+        the ``auto`` queue heuristic sizes for one shard's population.
     """
 
     mode: SharingMode = SharingMode.ECONOMY
@@ -100,6 +109,7 @@ class FederationConfig:
     directory_shards: int = 1
     engine: str = "heap"
     resilience: str = "paper"
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.oft_fraction <= 1.0:
@@ -127,6 +137,8 @@ class FederationConfig:
             raise ValueError(
                 f"resilience must be a registry key string, got {self.resilience!r}"
             )
+        if self.workers < 0:
+            raise ValueError(f"workers must be non-negative, got {self.workers}")
 
 
 @dataclass
@@ -164,6 +176,10 @@ class FederationResult:
     #: Resilience-policy accounting (``None`` when no policy was installed —
     #: the default ``paper`` path).
     resilience: Optional["ResilienceReport"] = None
+    #: Parallel-engine accounting (``None`` when the run never touched the
+    #: parallel dispatcher; a fallback record when it was requested but the
+    #: scenario was ineligible and the run completed serially).
+    parallel: Optional["ParallelStats"] = None
 
     # ------------------------------------------------------------------ #
     # Convenience queries used throughout metrics / experiments / benches
@@ -241,6 +257,8 @@ class Federation:
             estimate_standing_events(
                 len(self.specs),
                 sum(len(jobs) for jobs in self.workload.values()),
+                directory_shards=self.config.directory_shards,
+                workers=self.config.workers,
             ),
         )
         self.sim = Simulator(queue=self.engine)
@@ -270,24 +288,35 @@ class Federation:
         self.gfas: Dict[str, GridFederationAgent] = {}
         self.populations: Dict[str, UserPopulation] = {}
         for spec in self.specs:
-            gfa = self.agent_class(
-                sim=self.sim,
-                registry=self.registry,
-                spec=spec,
-                message_log=self.message_log,
-                mode=self.config.mode,
-                directory=self.directory,
-                bank=self.bank,
-                lrms_policy=self.config.lrms_policy,
-                transport=self.transport,
-            )
-            self.gfas[spec.name] = gfa
-            population = UserPopulation(self.sim, self.registry, spec.name, self.workload[spec.name])
-            self.populations[spec.name] = population
+            self._build_member(spec)
         self._ran = False
         self._fault_injector: Optional["FaultInjector"] = None
         self._validator: Optional["RuntimeValidator"] = None
         self._resilience: Optional["ResilienceManager"] = None
+
+    def _build_member(self, spec: ResourceSpec) -> None:
+        """Construct one cluster's GFA and user population.
+
+        The parallel engine's :class:`repro.par.shard.ShardFederation`
+        overrides this hook: specs owned by the shard get the full build,
+        foreign specs get a lightweight proxy instead — everything else in
+        ``__init__`` (streams, directory, transport, job prep) stays shared
+        so both paths draw the same random numbers in the same order.
+        """
+        gfa = self.agent_class(
+            sim=self.sim,
+            registry=self.registry,
+            spec=spec,
+            message_log=self.message_log,
+            mode=self.config.mode,
+            directory=self.directory,
+            bank=self.bank,
+            lrms_policy=self.config.lrms_policy,
+            transport=self.transport,
+        )
+        self.gfas[spec.name] = gfa
+        population = UserPopulation(self.sim, self.registry, spec.name, self.workload[spec.name])
+        self.populations[spec.name] = population
 
     # ------------------------------------------------------------------ #
     # Fault injection and runtime validation (both opt-in)

@@ -241,5 +241,36 @@ class MessageLog:
         """Individual message records (only if ``keep_records=True``)."""
         return list(self._records)
 
+    # ------------------------------------------------------------------ #
+    # Merging (parallel engine)
+    # ------------------------------------------------------------------ #
+    def merge_from(self, other: "MessageLog") -> None:
+        """Fold another log's counters into this one (purely additive).
+
+        Used by the parallel engine to combine per-shard logs into the
+        federation-wide accounting.  Correct because each message is
+        recorded on exactly one shard (requests at the job's origin shard,
+        completions at the executing shard), so summing never double-counts.
+        """
+        for name, counters in other._per_gfa.items():
+            mine = self._counters(name)
+            mine.local += counters.local
+            mine.remote += counters.remote
+            mine.sent += counters.sent
+            mine.received += counters.received
+            for mtype, count in counters.by_type.items():
+                mine.by_type[mtype] += count
+        for job_id, count in other._per_job.items():
+            self._per_job[job_id] = self._per_job.get(job_id, 0) + count
+        for pair, count in other._per_pair.items():
+            self._per_pair[pair] = self._per_pair.get(pair, 0) + count
+        for mtype, count in other._by_type.items():
+            self._by_type[mtype] += count
+        self.total_messages += other.total_messages
+        self.negotiation_timeouts += other.negotiation_timeouts
+        self.transit_losses += other.transit_losses
+        if self._keep_records:
+            self._records.extend(other._records)
+
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"MessageLog(total={self.total_messages}, gfas={len(self._per_gfa)})"

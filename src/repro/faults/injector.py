@@ -165,12 +165,17 @@ class FaultInjector:
     # Scheduling
     # ------------------------------------------------------------------ #
     def start(self) -> None:
-        """Schedule every planned event on the federation's simulator."""
+        """Schedule every planned event on the federation's simulator.
+
+        The whole plan (crash/churn schedules plus load-spike bursts) goes in
+        as one batch insert; sequence order matches the historical loop.
+        """
         if self._started:
             raise RuntimeError("fault injector already started")
         self._started = True
-        for event in self.plan.scheduled():
-            self.sim.schedule_at(event.time, self._apply, event)
+        self.sim.schedule_at_many(
+            (event.time, self._apply, (event,)) for event in self.plan.scheduled()
+        )
 
     def _apply(self, event: FaultEvent) -> None:
         if event.kind is FaultKind.CRASH:

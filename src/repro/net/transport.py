@@ -101,6 +101,30 @@ class TransportStats:
         """Copy of the job id -> message count mapping."""
         return dict(self.per_job)
 
+    def merge_from(self, other: "TransportStats") -> None:
+        """Fold another transport's traffic into this one (purely additive).
+
+        Used by the parallel engine: each shard runs its own transport, and
+        every data-plane message is carried by exactly one shard's transport,
+        so summing the stats reproduces the single-transport accounting.
+        """
+        self.messages += other.messages
+        self.volume_mb += other.volume_mb
+        self.latency_s += other.latency_s
+        self.timeouts += other.timeouts
+        self.link_losses += other.link_losses
+        self.transit_losses += other.transit_losses
+        self.delayed_deliveries += other.delayed_deliveries
+        self.control_messages += other.control_messages
+        for key, count in other.by_type.items():
+            self.by_type[key] = self.by_type.get(key, 0) + count
+        for job_id, count in other.per_job.items():
+            self.per_job[job_id] = self.per_job.get(job_id, 0) + count
+        for kind, count in other.control_by_kind.items():
+            self.control_by_kind[kind] = self.control_by_kind.get(kind, 0) + count
+        for node, count in other.control_by_node.items():
+            self.control_by_node[node] = self.control_by_node.get(node, 0) + count
+
 
 #: Shared fate tuple returned by every fast-path transfer: the default path
 #: hands a job over synchronously, so no per-transfer tuple is allocated.

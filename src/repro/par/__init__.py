@@ -1,0 +1,30 @@
+"""Conservative parallel-DES engine: shard the federation across cores.
+
+The parallel engine partitions the federation's clusters (GFA + LRMS + event
+streams) across N worker shards using the same crc32 key the sharded
+directory uses, runs each shard as an ordinary :class:`repro.sim.engine.
+Simulator`, and synchronises the shards in **lookahead windows** derived from
+the topology's minimum cross-shard link latency.  Cross-shard traffic (job
+migrations, completion hand-backs, load snapshots) is serialised through a
+pickle codec and injected at window boundaries with a deterministic merge
+order, so the run is reproducible bit-for-bit — and the multiprocess backend
+is provably equivalent to the in-process **serial-parity oracle**, which
+executes the identical sharded model one shard at a time.
+
+Scenarios the sharded model cannot represent faithfully (uniform zero-latency
+topologies, fault plans, dynamic pricing, …) fall back to the plain serial
+engine with a clear diagnostic; see :func:`repro.par.partition.plan_partition`
+for the exact eligibility gate.
+"""
+
+from repro.par.partition import PartitionPlan, plan_partition
+from repro.par.runner import merge_results, try_parallel_run
+from repro.par.stats import ParallelStats
+
+__all__ = [
+    "ParallelStats",
+    "PartitionPlan",
+    "merge_results",
+    "plan_partition",
+    "try_parallel_run",
+]

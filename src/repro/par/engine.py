@@ -1,0 +1,313 @@
+"""The parallel coordinator: barrier-windowed execution of the shards.
+
+:class:`ParallelSimulator` drives N shard handles through lookahead windows:
+
+1. every shard with pending input or a local event before the boundary runs
+   its local event queue up to the window end
+   (:meth:`~repro.par.shard.ShardFederation.step`) — all dispatched before
+   any reply is awaited, so worker processes overlap; a shard with nothing
+   to do is not stepped at all,
+2. the coordinator barriers, exchanging outboxes (sorted into the canonical
+   ``(deliver_time, origin_shard, origin_seq)`` merge order) and load
+   snapshots (fanned out to every other shard),
+3. when no traffic is pending, the next window is fast-forwarded to the
+   earliest pending event; when nothing is pending anywhere, the run is over.
+
+Two interchangeable backends execute the identical model:
+
+* :class:`OracleShardHandle` — the **serial-parity oracle**: every shard
+  lives in this process and the coordinator steps them one at a time;
+* :class:`ProcessShardHandle` — one forked worker process per shard, driven
+  over a :func:`multiprocessing.Pipe`.
+
+A run is deterministic per backend *and* across backends: the only inputs a
+shard sees are its (replicated, seeded) build and the byte-serialised
+injections/loads at each barrier, which are identical either way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.par.router import CrossShardMessage, sort_injections
+from repro.par.shard import ShardHarvest, StepReport, build_shard_federation
+from repro.par.stats import ParallelStats
+from repro.scenario.scenario import Scenario
+
+__all__ = ["OracleShardHandle", "ParallelSimulator", "ProcessShardHandle"]
+
+
+class OracleShardHandle:
+    """In-process shard: the serial-parity oracle backend.
+
+    ``step_begin``/``step_finish`` mirror the process backend's pipelined
+    protocol; here the work simply runs during ``step_finish``, in handle
+    order — which is exactly the order the coordinator collects reports in,
+    so both backends execute the identical model.
+    """
+
+    def __init__(self, scenario: Scenario, shard_index: int, workers: int, window: float):
+        self.federation = build_shard_federation(scenario, shard_index, workers, window)
+        self._pending_step: Optional[Tuple[float, list, list]] = None
+
+    def start(self) -> None:
+        self.federation.start()
+
+    def step_begin(
+        self,
+        end: float,
+        injections: Sequence[CrossShardMessage],
+        loads: Sequence[Tuple[str, float]],
+    ) -> None:
+        self._pending_step = (end, list(injections), list(loads))
+
+    def step_finish(self) -> StepReport:
+        end, injections, loads = self._pending_step
+        self._pending_step = None
+        return self.federation.step(end, injections, loads)
+
+    def harvest_begin(self) -> None:
+        pass
+
+    def harvest_finish(self) -> ShardHarvest:
+        return self.federation.harvest()
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker(conn, scenario, shard_index, workers, window, profile_path) -> None:
+    """Worker-process loop: build the shard, then serve coordinator commands."""
+    profiler = None
+    if profile_path is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        federation = build_shard_federation(scenario, shard_index, workers, window)
+        federation.start()
+        conn.send(("ok", None))
+        while True:
+            command = conn.recv()
+            if command[0] == "step":
+                _, end, injections, loads = command
+                conn.send(("ok", federation.step(end, injections, loads)))
+            elif command[0] == "harvest":
+                if profiler is not None:
+                    profiler.disable()
+                    profiler.dump_stats(profile_path)
+                    profiler = None
+                conn.send(("ok", federation.harvest()))
+            elif command[0] == "exit":
+                break
+            else:  # pragma: no cover - protocol violation
+                conn.send(("error", f"unknown command {command[0]!r}"))
+                break
+    except Exception:
+        conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+class ProcessShardHandle:
+    """One forked worker process per shard, driven over a pipe."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        shard_index: int,
+        workers: int,
+        window: float,
+        profile_path: Optional[str] = None,
+    ):
+        self.shard_index = shard_index
+        context = multiprocessing.get_context()
+        self._conn, worker_conn = context.Pipe()
+        self._process = context.Process(
+            target=_shard_worker,
+            args=(worker_conn, scenario, shard_index, workers, window, profile_path),
+            daemon=True,
+        )
+        self._process.start()
+        worker_conn.close()
+
+    def _recv(self):
+        status, payload = self._conn.recv()
+        if status != "ok":
+            raise RuntimeError(
+                f"shard {self.shard_index} worker failed:\n{payload}"
+            )
+        return payload
+
+    def start(self) -> None:
+        # The worker builds and starts eagerly; this waits for its ready ack.
+        self._recv()
+
+    def step_begin(
+        self,
+        end: float,
+        injections: Sequence[CrossShardMessage],
+        loads: Sequence[Tuple[str, float]],
+    ) -> None:
+        """Dispatch the window without waiting: the shards of one window are
+        independent by construction, so sending every command before reading
+        any reply is what lets the worker processes actually overlap."""
+        self._conn.send(("step", end, list(injections), list(loads)))
+
+    def step_finish(self) -> StepReport:
+        return self._recv()
+
+    def harvest_begin(self) -> None:
+        self._conn.send(("harvest",))
+
+    def harvest_finish(self) -> ShardHarvest:
+        return self._recv()
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("exit",))
+        except (BrokenPipeError, OSError):  # pragma: no cover - worker died
+            pass
+        self._process.join(timeout=30.0)
+        if self._process.is_alive():  # pragma: no cover - hung worker
+            self._process.terminate()
+            self._process.join()
+        self._conn.close()
+
+
+class ParallelSimulator:
+    """Coordinates N shard handles through barrier lookahead windows."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        workers: int,
+        window: float,
+        *,
+        lookahead: float = 0.0,
+        backend: str = "process",
+        profile_dir: Optional[str] = None,
+    ):
+        if workers < 2:
+            raise ValueError(f"parallel execution needs >= 2 workers, got {workers}")
+        if backend not in ("process", "oracle"):
+            raise ValueError(f"unknown parallel backend {backend!r}")
+        self.scenario = scenario
+        self.workers = workers
+        self.window = window
+        self.lookahead = lookahead
+        self.backend = backend
+        self.profile_dir = profile_dir
+
+    def _make_handles(self) -> List[object]:
+        if self.backend == "oracle":
+            return [
+                OracleShardHandle(self.scenario, i, self.workers, self.window)
+                for i in range(self.workers)
+            ]
+        handles = []
+        for i in range(self.workers):
+            profile_path = (
+                os.path.join(self.profile_dir, f"shard-{i}.pstats")
+                if self.profile_dir is not None
+                else None
+            )
+            handles.append(
+                ProcessShardHandle(
+                    self.scenario, i, self.workers, self.window, profile_path
+                )
+            )
+        return handles
+
+    def run(self) -> Tuple[List[ShardHarvest], ParallelStats]:
+        """Execute the sharded run to global quiescence and harvest."""
+        stats = ParallelStats(
+            requested_workers=self.workers,
+            workers=self.workers,
+            backend=self.backend,
+            window_s=self.window,
+            lookahead_s=self.lookahead,
+            worker_events=[0] * self.workers,
+        )
+        handles = self._make_handles()
+        try:
+            for handle in handles:
+                handle.start()
+            pending: Dict[int, List[CrossShardMessage]] = {
+                i: [] for i in range(self.workers)
+            }
+            pending_loads: Dict[int, List[Tuple[str, float]]] = {
+                i: [] for i in range(self.workers)
+            }
+            # Last reported next-event time per shard (valid while skipped:
+            # nothing can enter an un-stepped shard's queue).
+            shard_next: List[Optional[float]] = [0.0] * self.workers
+            window = self.window
+            start = 0.0
+            while True:
+                end = start + window
+                # Phase 1: dispatch every shard's window, waiting on nobody —
+                # the shards of one window are independent, so this is where
+                # the worker processes genuinely overlap.  A shard with no
+                # input and no event before the boundary is not stepped at
+                # all (its state cannot change without one of the three).
+                stepped: List[bool] = [False] * self.workers
+                for i, handle in enumerate(handles):
+                    injections = sort_injections(pending[i])
+                    pending[i] = []
+                    loads, pending_loads[i] = pending_loads[i], []
+                    idle = (
+                        not injections
+                        and not loads
+                        and (shard_next[i] is None or shard_next[i] >= end)
+                    )
+                    if idle:
+                        continue
+                    stepped[i] = True
+                    handle.step_begin(end, injections, loads)
+                # Phase 2: collect reports in shard order (determinism: the
+                # merge order below never depends on worker finish order).
+                reports: List[Optional[StepReport]] = [
+                    handle.step_finish() if stepped[i] else None
+                    for i, handle in enumerate(handles)
+                ]
+                stats.windows += 1
+                for i, report in enumerate(reports):
+                    if report is None:
+                        continue
+                    shard_next[i] = report.next_time
+                    stats.worker_events[i] += report.fired
+                    for msg in report.outbox:
+                        stats.cross_messages += 1
+                        stats.cross_volume_mb += len(msg.payload) / 1e6
+                        pending[msg.dest_shard].append(msg)
+                    if report.loads:
+                        for j in range(self.workers):
+                            if j != i:
+                                pending_loads[j].extend(report.loads)
+                                stats.load_updates += len(report.loads)
+                next_times = [t for t in shard_next if t is not None]
+                have_traffic = any(pending.values())
+                if not have_traffic and not next_times:
+                    break
+                if have_traffic:
+                    # Messages quantised onto the very next boundary: the
+                    # following window must be the adjacent one.
+                    start = end
+                else:
+                    # Globally idle until the earliest pending event: fast
+                    # forward, keeping boundaries on the window grid so
+                    # deliver-time arithmetic stays exact.
+                    earliest = min(next_times)
+                    start = max(end, int(earliest // window) * window)
+            for handle in handles:
+                handle.harvest_begin()
+            harvests = [handle.harvest_finish() for handle in handles]
+        finally:
+            for handle in handles:
+                handle.close()
+        return harvests, stats

@@ -1,0 +1,79 @@
+"""Cross-shard message codec and routing records.
+
+Every cross-shard interaction is one :class:`CrossShardMessage`: a job
+migrating to a cluster owned by another shard (``JOB_ARRIVAL``) or a finished
+remote job's terminal state returning to its origin shard (``JOB_FINAL``).
+Payloads are pickled **at enqueue time** (the snapshot layer's
+``pickle.HIGHEST_PROTOCOL`` idiom) so that the in-process oracle backend and
+the multiprocess backend perform the identical serialise/deserialise copy —
+the object graphs delivered to a shard are byte-equal either way, which is
+the cornerstone of the parity guarantee.
+
+Merge determinism: the coordinator orders every window's injections by the
+canonical ``(deliver_time, origin_shard, origin_seq)`` key before handing
+them to a shard, and the shard's engine assigns its event sequence numbers in
+that order — so the per-window merge reproduces the one global
+``(time, priority, seq)`` order a single queue would have produced.
+"""
+
+from __future__ import annotations
+
+import enum
+import pickle
+from dataclasses import dataclass
+from typing import List
+
+from repro.workload.job import Job
+
+__all__ = ["CrossShardMessage", "MessageKind", "decode_job", "encode_job", "sort_injections"]
+
+
+class MessageKind(enum.Enum):
+    """The two cross-shard message categories."""
+
+    #: A job migrating to a cluster owned by another shard.
+    JOB_ARRIVAL = "job-arrival"
+    #: A finished remote job's terminal state returning to its origin shard.
+    JOB_FINAL = "job-final"
+
+
+def encode_job(job: Job) -> bytes:
+    """Serialise a job payload for cross-shard transfer."""
+    return pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_job(payload: bytes) -> Job:
+    """Materialise a shard-local copy of a transferred job."""
+    return pickle.loads(payload)
+
+
+@dataclass(frozen=True)
+class CrossShardMessage:
+    """One serialised cross-shard delivery."""
+
+    kind: MessageKind
+    #: Shard that must apply this message.
+    dest_shard: int
+    #: Cluster the message addresses (the hosting GFA for an arrival, the
+    #: origin GFA for a final hand-back).
+    dest_name: str
+    #: GFA that emitted the message (the migrating origin for an arrival,
+    #: the executing cluster for a final).
+    origin_gfa: str
+    #: Shard that emitted the message.
+    origin_shard: int
+    #: Per-origin-shard monotone sequence number (merge tie-breaker).
+    origin_seq: int
+    #: Simulated time the message was emitted.
+    send_time: float
+    #: Window boundary the message is injected at.
+    deliver_time: float
+    #: Pickled :class:`~repro.workload.job.Job` payload.
+    payload: bytes
+
+
+def sort_injections(messages: List[CrossShardMessage]) -> List[CrossShardMessage]:
+    """Canonical deterministic merge order for one window's injections."""
+    return sorted(
+        messages, key=lambda m: (m.deliver_time, m.origin_shard, m.origin_seq)
+    )

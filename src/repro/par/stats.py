@@ -1,0 +1,69 @@
+"""Accounting for one parallel-engine run (or one declined dispatch)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["ParallelStats"]
+
+
+@dataclass
+class ParallelStats:
+    """What the parallel engine did (carried on ``FederationResult.parallel``).
+
+    A *fallback* record (``fallback_reason`` set, ``workers == 0``) means the
+    parallel engine was requested but the scenario was ineligible and the run
+    completed on the plain serial path; everything else describes a genuine
+    sharded run.
+    """
+
+    #: Worker count the caller asked for.
+    requested_workers: int
+    #: Worker shards actually used (0 on the serial fallback).
+    workers: int = 0
+    #: ``"process"`` (multiprocess shards), ``"oracle"`` (the in-process
+    #: serial-parity backend) or ``"serial"`` (fallback).
+    backend: str = "serial"
+    #: Barrier window length in simulated seconds.
+    window_s: float = 0.0
+    #: Sampled minimum cross-shard link latency the window was derived from.
+    lookahead_s: float = 0.0
+    #: Barrier windows executed.
+    windows: int = 0
+    #: Cross-shard messages exchanged (migrations + completion hand-backs).
+    cross_messages: int = 0
+    #: Serialised payload volume of those messages, in megabytes.
+    cross_volume_mb: float = 0.0
+    #: Load-snapshot updates distributed between shards.
+    load_updates: int = 0
+    #: Events fired per worker shard, in shard order.
+    worker_events: List[int] = field(default_factory=list)
+    #: Why the dispatch fell back to the serial engine (``None`` = it ran).
+    fallback_reason: Optional[str] = None
+
+    @property
+    def ran_parallel(self) -> bool:
+        """True iff the sharded engine executed (not the serial fallback)."""
+        return self.fallback_reason is None and self.workers >= 2
+
+    def worker_shares(self) -> List[float]:
+        """Each worker's fraction of all fired events (the utilisation view)."""
+        total = sum(self.worker_events)
+        if total <= 0:
+            return [0.0] * len(self.worker_events)
+        return [fired / total for fired in self.worker_events]
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI's ``par:`` line."""
+        if not self.ran_parallel:
+            return (
+                f"serial fallback (requested {self.requested_workers} workers: "
+                f"{self.fallback_reason})"
+            )
+        shares = "/".join(f"{share:.0%}" for share in self.worker_shares())
+        return (
+            f"{self.workers} workers ({self.backend}), window {self.window_s:.3g}s, "
+            f"{self.windows} windows, {self.cross_messages} cross-shard msgs "
+            f"({self.cross_volume_mb:.2f} MB), worker load {shares}"
+        )

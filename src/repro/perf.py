@@ -51,7 +51,9 @@ import cProfile
 import json
 import platform
 import pstats
+import tempfile
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -76,6 +78,7 @@ __all__ = [
     "bench_table3",
     "bench_transport_fastpath",
     "bench_resilience_overhead",
+    "bench_parallel_engine",
     "run_benchmarks",
     "write_report",
     "compare_to_baseline",
@@ -123,6 +126,19 @@ class BenchScale:
     table3_sizes: Tuple[Optional[int], ...]
     #: Timing repetitions; the minimum is reported (noise suppression).
     repeats: int
+    #: Federation size for the parallel-engine benchmark (Exp-5 economy shape
+    #: on the two-tier WAN so conservative lookahead exists).
+    par_size: int = 64
+    #: ``thin`` for the parallel-engine benchmark.
+    par_thin: int = 4
+    #: Worker counts timed by the parallel-engine benchmark (1 = the serial
+    #: baseline the speedup column is relative to).
+    par_workers: Tuple[int, ...] = (1, 2)
+    #: Largest federation size where each parallel row also runs the
+    #: in-process oracle backend and asserts fingerprint equality (beyond it
+    #: the doubled wall-clock isn't worth re-proving what the test suite
+    #: already covers at small sizes).
+    par_parity_limit: int = 256
 
 
 BENCH_SCALES: Dict[str, BenchScale] = {
@@ -139,6 +155,9 @@ BENCH_SCALES: Dict[str, BenchScale] = {
         table3_thin=4,
         table3_sizes=(None,),
         repeats=2,
+        par_size=64,
+        par_thin=4,
+        par_workers=(1, 2),
     ),
     "full": BenchScale(
         "full",
@@ -151,6 +170,9 @@ BENCH_SCALES: Dict[str, BenchScale] = {
         table3_thin=1,
         table3_sizes=(None, 32),
         repeats=3,
+        par_size=256,
+        par_thin=8,
+        par_workers=(1, 2, 4),
     ),
     # Scale-out tier: the paper's Experiment 5 stops at 64 clusters; this is
     # where the calendar backend and the transport fast path earn their keep.
@@ -170,6 +192,9 @@ BENCH_SCALES: Dict[str, BenchScale] = {
         table3_thin=8,
         table3_sizes=(256, 1024),
         repeats=1,
+        par_size=4096,
+        par_thin=32,
+        par_workers=(1, 8),
     ),
 }
 
@@ -638,6 +663,108 @@ def bench_resilience_overhead(
 
 
 # --------------------------------------------------------------------------- #
+# Parallel-engine end-to-end benchmark
+# --------------------------------------------------------------------------- #
+def bench_parallel_engine(
+    size: int,
+    thin: int,
+    worker_counts: Sequence[int] = (1, 2),
+    repeats: int = 1,
+    seed: int = 42,
+    topology: str = "two-tier-wan",
+    parity_limit: int = 256,
+) -> List[Dict[str, object]]:
+    """Time the Exp-5 economy shape under the conservative parallel engine.
+
+    The scenario is the scalability experiment's economy federation (OFT 30%)
+    replicated to ``size`` clusters on the two-tier WAN — the topology whose
+    nonzero cross-shard latency gives the engine its lookahead window.  Each
+    worker count is timed end to end through :func:`run_scenario`; ``1`` is
+    the serial baseline every ``speedup_vs_serial`` column is relative to.
+
+    Two correctness columns ride along: ``fallback`` records the engine's
+    diagnostic if a parallel row silently degraded to the serial path (the
+    regression gate fails on it — a benchmark that isn't measuring what its
+    label claims is worse than no benchmark), and up to ``parity_limit``
+    clusters each parallel row re-runs the identical sharded model on the
+    in-process oracle backend and asserts the two fingerprints are equal —
+    the serial-parity guarantee re-proven on every benchmark run.
+    """
+    rows: List[Dict[str, object]] = []
+    serial_s: Optional[float] = None
+    for workers in worker_counts:
+        state: Dict[str, object] = {}
+
+        def once(workers: int = workers) -> float:
+            scenario = Scenario(
+                mode=SharingMode.ECONOMY,
+                oft_fraction=0.3,
+                seed=seed,
+                thin=thin,
+                system_size=size,
+                transport=topology,
+            )
+            start = time.perf_counter()
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                result = run_scenario(scenario, workers=workers)
+            elapsed = time.perf_counter() - start
+            state["fingerprint"] = result_fingerprint(result)
+            state["jobs"] = len(result.jobs)
+            state["events"] = result.events_processed
+            state["parallel"] = result.parallel
+            return elapsed
+
+        seconds = _best_of(repeats, once)
+        par = state["parallel"]
+        ran_parallel = par is not None and par.ran_parallel
+        parity_ok: Optional[bool] = None
+        if ran_parallel and size <= parity_limit:
+            from repro.par.runner import try_parallel_run
+
+            scenario = Scenario(
+                mode=SharingMode.ECONOMY,
+                oft_fraction=0.3,
+                seed=seed,
+                thin=thin,
+                system_size=size,
+                transport=topology,
+            )
+            oracle_result, _ = try_parallel_run(
+                scenario, workers=workers, backend="oracle"
+            )
+            parity_ok = (
+                oracle_result is not None
+                and result_fingerprint(oracle_result) == state["fingerprint"]
+            )
+        if serial_s is None and workers <= 1:
+            serial_s = seconds
+        rows.append(
+            {
+                "workers": int(workers),
+                "clusters": int(size),
+                "thin": int(thin),
+                "jobs": state["jobs"],
+                "events": state["events"],
+                "seconds": seconds,
+                "speedup_vs_serial": (
+                    serial_s / max(seconds, 1e-12)
+                    if serial_s is not None and workers > 1
+                    else None
+                ),
+                "windows": par.windows if ran_parallel else None,
+                "cross_messages": par.cross_messages if ran_parallel else None,
+                "fallback": (
+                    par.fallback_reason if par is not None and not ran_parallel else None
+                ),
+                "parity_ok": parity_ok,
+                "fingerprint": state["fingerprint"],
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
 # Suite driver, report and regression gate
 # --------------------------------------------------------------------------- #
 def run_benchmarks(
@@ -699,6 +826,14 @@ def run_benchmarks(
             seed=seed,
             system_sizes=(scale.table3_sizes[-1],),
         ),
+        "par": bench_parallel_engine(
+            scale.par_size,
+            scale.par_thin,
+            worker_counts=scale.par_workers,
+            repeats=scale.repeats,
+            seed=seed,
+            parity_limit=scale.par_parity_limit,
+        ),
     }
 
 
@@ -746,6 +881,9 @@ def _tracked_timings(report: Dict[str, object]) -> Dict[str, float]:
     for row in report.get("resilience", []):
         key = f"resilience/{row['clusters']}@thin{row['thin']}/noop_s"
         tracked[key] = float(row["noop_s"])
+    for row in report.get("par", []):
+        key = f"par/{row['clusters']}@thin{row['thin']}/w{row['workers']}/seconds"
+        tracked[key] = float(row["seconds"])
     return tracked
 
 
@@ -811,6 +949,18 @@ def compare_to_baseline(
             problems.append(
                 f"resilience/{row['clusters']}: paper and inert-policy runs "
                 "diverged (fingerprint mismatch)"
+            )
+    for row in report.get("par", []):
+        if row["workers"] > 1 and row.get("fallback"):
+            problems.append(
+                f"par/{row['clusters']}/w{row['workers']}: parallel row fell "
+                f"back to the serial path ({row['fallback']}) — the timing "
+                "does not measure the parallel engine"
+            )
+        if row.get("parity_ok") is False:
+            problems.append(
+                f"par/{row['clusters']}/w{row['workers']}: process and oracle "
+                "backends diverged (fingerprint mismatch)"
             )
     current = _tracked_timings(report)
     previous = _tracked_timings(baseline)
@@ -1019,37 +1169,59 @@ def render_report(report: Dict[str, object]) -> str:
                 title="Resilience layer — no policy vs inert policy installed",
             )
         )
+    rows = [
+        [
+            row["workers"],
+            row["clusters"],
+            row["jobs"],
+            f"{row['seconds']:.4f}",
+            (
+                f"{row['speedup_vs_serial']:.2f}x"
+                if row["speedup_vs_serial"] is not None
+                else "-"
+            ),
+            row["windows"] if row["windows"] is not None else "-",
+            row["cross_messages"] if row["cross_messages"] is not None else "-",
+            (
+                "unchecked"
+                if row["parity_ok"] is None
+                else ("yes" if row["parity_ok"] else "NO")
+            ),
+            row["fallback"] or "-",
+        ]
+        for row in report.get("par", [])
+    ]
+    if rows:
+        out.append(
+            render_table(
+                [
+                    "Workers",
+                    "Clusters",
+                    "Jobs",
+                    "Seconds",
+                    "vs serial",
+                    "Windows",
+                    "Cross msgs",
+                    "Parity",
+                    "Fallback",
+                ],
+                rows,
+                title=(
+                    "Parallel engine — Exp-5 economy shape on the two-tier WAN "
+                    f"(thin={report['par'][0]['thin']})"
+                ),
+            )
+        )
     return "\n".join(out)
 
 
 # --------------------------------------------------------------------------- #
 # Scenario profiling (``gridfed profile``)
 # --------------------------------------------------------------------------- #
-def profile_scenario(
-    scenario: Scenario,
-    top: int = 25,
-    sort: str = "cumulative",
-) -> str:
-    """Run one scenario under cProfile and render its hotspot table.
-
-    Returns the run summary plus a top-``top`` table sorted by ``sort``
-    (``"cumulative"`` or ``"tottime"``): calls, total time (excluding
-    subcalls), cumulative time, and the function's location.  This is the
-    starting point the perf PRs work from — measure, then optimise.
-    """
+def _hotspot_table(stats: pstats.Stats, top: int, sort: str) -> str:
+    """Render a pstats object as the top-``top`` hotspot table."""
     from repro.metrics.report import render_table
 
-    if sort not in ("cumulative", "tottime"):
-        raise ValueError(f"sort must be 'cumulative' or 'tottime', got {sort!r}")
-    if top < 1:
-        raise ValueError(f"top must be at least 1, got {top}")
-    profiler = cProfile.Profile()
-    start = time.perf_counter()
-    profiler.enable()
-    result = run_scenario(scenario)
-    profiler.disable()
-    elapsed = time.perf_counter() - start
-    stats = pstats.Stats(profiler)
     sort_index = 3 if sort == "cumulative" else 2  # (cc, nc, tt, ct) layout
     entries = sorted(
         stats.stats.items(), key=lambda item: item[1][sort_index], reverse=True
@@ -1062,14 +1234,73 @@ def profile_scenario(
             location = f"{Path(filename).name}:{lineno}:{funcname}"
         calls = str(nc) if nc == cc else f"{nc}/{cc}"
         rows.append([calls, f"{tt:.4f}", f"{ct:.4f}", location])
-    table = render_table(
+    return render_table(
         ["Calls", "Total s", "Cumulative s", "Function"],
         rows,
         title=f"Hotspots — top {min(top, len(rows))} by {sort} time",
     )
+
+
+def profile_scenario(
+    scenario: Scenario,
+    top: int = 25,
+    sort: str = "cumulative",
+    workers: Optional[int] = None,
+) -> str:
+    """Run one scenario under cProfile and render its hotspot table.
+
+    Returns the run summary plus a top-``top`` table sorted by ``sort``
+    (``"cumulative"`` or ``"tottime"``): calls, total time (excluding
+    subcalls), cumulative time, and the function's location.  This is the
+    starting point the perf PRs work from — measure, then optimise.
+
+    With ``workers >= 2`` the scenario runs on the parallel engine with one
+    cProfile per worker process; the per-shard profiles are merged
+    (:meth:`pstats.Stats.add`) into a single federation-wide hotspot table,
+    and the summary carries the engine's ``par:`` line.  An ineligible
+    scenario falls back to the serial profile with the fallback diagnostic
+    in the summary — same behaviour as ``gridfed run --workers``.
+    """
+    if sort not in ("cumulative", "tottime"):
+        raise ValueError(f"sort must be 'cumulative' or 'tottime', got {sort!r}")
+    if top < 1:
+        raise ValueError(f"top must be at least 1, got {top}")
+    par_note = ""
+    if workers is not None and workers >= 2:
+        from repro.par.runner import try_parallel_run
+
+        with tempfile.TemporaryDirectory(prefix="gridfed-profile-") as tmp:
+            start = time.perf_counter()
+            result, par_stats = try_parallel_run(
+                scenario, workers=workers, profile_dir=tmp
+            )
+            elapsed = time.perf_counter() - start
+            if result is not None:
+                paths = sorted(Path(tmp).glob("shard-*.pstats"))
+                stats = pstats.Stats(str(paths[0]))
+                for path in paths[1:]:
+                    stats.add(str(path))
+                summary = (
+                    f"profiled {scenario.describe()}\n"
+                    f"par: {par_stats.describe()}\n"
+                    f"jobs={len(result.jobs)} events={result.events_processed} "
+                    f"wall={elapsed:.3f}s (profiler overhead included; "
+                    f"{len(paths)} worker profiles merged)\n"
+                )
+                return summary + _hotspot_table(stats, top, sort)
+        # Ineligible for the parallel engine: profile serially, but carry the
+        # diagnostic so the fallback is visible in the report header.
+        par_note = f"par: {par_stats.describe()}\n"
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = run_scenario(scenario)
+    profiler.disable()
+    elapsed = time.perf_counter() - start
     summary = (
         f"profiled {scenario.describe()}\n"
-        f"jobs={len(result.jobs)} events={result.events_processed} "
+        + par_note
+        + f"jobs={len(result.jobs)} events={result.events_processed} "
         f"wall={elapsed:.3f}s (profiler overhead included)\n"
     )
-    return summary + table
+    return summary + _hotspot_table(pstats.Stats(profiler), top, sort)

@@ -70,20 +70,25 @@ def _demand_federation(scenario, specs, workload, config, agent_class) -> Federa
 # --------------------------------------------------------------------------- #
 @register_workload("archive", aliases=("table1",))
 def _archive_workload(
-    scenario, streams: RandomStreams, resources: Sequence[ArchiveResource]
+    scenario, streams: RandomStreams, resources: Sequence[ArchiveResource], only=None
 ) -> Dict[str, List[Job]]:
-    """The calibrated two-day Table 1 workload (the paper's evaluation trace)."""
-    return build_workload(streams, resources)
+    """The calibrated two-day Table 1 workload (the paper's evaluation trace).
+
+    ``only`` restricts generation to the named resources (bit-identical jobs,
+    empty lists elsewhere) — the parallel engine's shard-local build.
+    """
+    return build_workload(streams, resources, only=only)
 
 
 @register_workload("synthetic")
 def _synthetic_workload(
-    scenario, streams: RandomStreams, resources: Sequence[ArchiveResource]
+    scenario, streams: RandomStreams, resources: Sequence[ArchiveResource], only=None
 ) -> Dict[str, List[Job]]:
     """The same calibrated generators, but submitting over ``scenario.horizon``.
 
     Each resource keeps its Table 2/3 job count; shrinking or stretching the
     horizon changes the offered-load density, which makes this variant the
-    quick way to study over/under-subscription regimes.
+    quick way to study over/under-subscription regimes.  ``only`` restricts
+    generation to the named resources (the parallel engine's shard build).
     """
-    return build_workload(streams, resources, horizon=scenario.horizon)
+    return build_workload(streams, resources, horizon=scenario.horizon, only=only)

@@ -149,6 +149,7 @@ def run_scenario(
     checkpoint_dir: Optional[str] = None,
     checkpoint_every: Optional[float] = None,
     on_progress=None,
+    workers: Optional[int] = None,
 ) -> FederationResult:
     """Build and run the federation a scenario describes.
 
@@ -182,9 +183,47 @@ def run_scenario(
         reporting a :class:`~repro.service.checkpoint.RunProgress` to
         ``on_progress`` after every chunk.  The chunking never changes the
         result: fingerprints match the plain path exactly.
+    workers:
+        Worker count for the conservative parallel engine, overriding the
+        scenario's ``parallel`` field (``None`` = use the field; 0 or 1 =
+        plain serial).  Eligible scenarios are dispatched to
+        :func:`repro.par.try_parallel_run`; ineligible ones (uniform
+        zero-latency topologies, fault plans, dynamic pricing, …) warn and
+        fall back to the serial path, attaching the fallback diagnostic to
+        ``result.parallel``.
     """
     if (specs is None) != (workload is None):
         raise ValueError("pass both specs and workload, or neither")
+    effective_workers = workers if workers is not None else scenario.parallel
+    fallback_stats = None
+    if effective_workers >= 2:
+        # Imported lazily: repro.par sits above this module in the layer
+        # stack, and the serial path must not pay for it.
+        from repro.par.runner import try_parallel_run
+
+        result, par_stats = try_parallel_run(
+            scenario,
+            workers=effective_workers,
+            explicit_inputs=resources is not None or workload is not None,
+            explicit_fault_plan=fault_plan is not None,
+            validate=validate,
+            checkpointing=(
+                checkpoint_dir is not None
+                or checkpoint_every is not None
+                or on_progress is not None
+            ),
+        )
+        if result is not None:
+            return result
+        import warnings
+
+        warnings.warn(
+            f"parallel engine unavailable ({par_stats.fallback_reason}); "
+            "running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        fallback_stats = par_stats
     agent_class = AGENT_REGISTRY.get(scenario.agent)
     federation_factory = PRICING_REGISTRY.get(scenario.pricing)
     if workload is None:
@@ -214,14 +253,18 @@ def run_scenario(
         # stack, and the plain path must not pay for it.
         from repro.service.checkpoint import run_checkpointed
 
-        return run_checkpointed(
+        result = run_checkpointed(
             federation,
             scenario,
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=checkpoint_every,
             on_progress=on_progress,
         )
-    return federation.run()
+    else:
+        result = federation.run()
+    if fallback_stats is not None:
+        result.parallel = fallback_stats
+    return result
 
 
 # --------------------------------------------------------------------------- #

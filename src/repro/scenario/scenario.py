@@ -114,6 +114,14 @@ class Scenario:
         pre-resilience code; active policies add bounded retry/backoff,
         per-peer circuit breakers and quote-TTL eviction to the negotiation
         path (see :mod:`repro.resilience`).
+    parallel:
+        Worker count for the conservative parallel engine (0 or 1 = the
+        plain single-process run; ``N >= 2`` shards the federation across N
+        workers, synchronised in lookahead windows — see :mod:`repro.par`).
+        Values 0 and 1 are hash-transparent: they do not change
+        :meth:`scenario_hash`, because the parallel engine is required to
+        produce byte-identical result fingerprints and a worker knob must
+        never invalidate a sweep memo.
     """
 
     mode: SharingMode = SharingMode.ECONOMY
@@ -135,6 +143,7 @@ class Scenario:
     engine: str = "heap"
     keep_message_records: bool = False
     resilience: str = "paper"
+    parallel: int = 0
 
     # ------------------------------------------------------------------ #
     # Validation
@@ -168,6 +177,8 @@ class Scenario:
             raise ValueError(
                 f"directory_shards must be at least 1, got {self.directory_shards}"
             )
+        if self.parallel < 0:
+            raise ValueError(f"parallel must be non-negative, got {self.parallel}")
         if self.transport not in TOPOLOGY_REGISTRY:
             raise ValueError(
                 f"unknown transport topology {self.transport!r}; registered: "
@@ -214,6 +225,7 @@ class Scenario:
             directory_shards=self.directory_shards,
             engine=self.engine,
             resilience=self.resilience,
+            workers=self.parallel,
         )
 
     def replace(self, **changes) -> "Scenario":
@@ -230,6 +242,12 @@ class Scenario:
         payload = {}
         for field in dataclasses.fields(self):
             value = getattr(self, field.name)
+            if field.name == "parallel" and value in (0, 1):
+                # Worker counts <= 1 run the identical single-process path,
+                # and >= 2 is fingerprint-identical by construction — keep
+                # the degenerate values out of the hash so pre-parallel
+                # sweep memos stay valid.
+                continue
             if isinstance(value, enum.Enum):
                 value = f"{type(value).__name__}.{value.name}"
             payload[field.name] = value
@@ -254,6 +272,8 @@ class Scenario:
             summary += f" shards={self.directory_shards}"
         if self.engine != "heap":
             summary += f" engine={self.engine}"
+        if self.parallel >= 2:
+            summary += f" parallel={self.parallel}"
         return summary
 
 
@@ -277,6 +297,7 @@ def scenario_from_config(config: FederationConfig, **overrides) -> Scenario:
         directory_shards=config.directory_shards,
         engine=config.engine,
         resilience=config.resilience,
+        parallel=config.workers,
     )
     base.update(overrides)
     return Scenario(**base)

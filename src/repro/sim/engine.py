@@ -267,6 +267,52 @@ class Simulator:
         self._pending += 1
         return event
 
+    def schedule_at_many(
+        self,
+        items,
+        *,
+        priority: int = 0,
+    ) -> list[ScheduledEvent]:
+        """Schedule a batch of ``(time, callback, args)`` triples in one call.
+
+        Sequence numbers are assigned in iteration order, so the delivery
+        order is exactly what the equivalent :meth:`schedule_at` loop would
+        produce; the batch form exists so burst paths (user-population
+        start-up, fault-plan load spikes, cross-shard window injection) pay
+        one backend :meth:`~repro.sim.queues.EventQueue.push_many` instead of
+        one push per event.
+        """
+        now = self._now
+        seq_counter = self._seq
+        pool = self._pool
+        handles: list[ScheduledEvent] = []
+        append = handles.append
+        for time, callback, args in items:
+            if not math.isfinite(time):
+                raise SimulationError(f"event time must be finite, got {time!r}")
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule event in the past (now={now}, requested={time})"
+                )
+            if not callable(callback):
+                raise SimulationError("callback must be callable")
+            seq = next(seq_counter)
+            if pool:
+                event = pool.pop()
+                event.time = float(time)
+                event.priority = priority
+                event.seq = seq
+                event.callback = callback
+                event.args = tuple(args)
+                event.cancelled = False
+                event._queued = True
+            else:
+                event = ScheduledEvent(float(time), priority, seq, callback, tuple(args))
+            append(event)
+        self._queue.push_many(handles)
+        self._pending += len(handles)
+        return handles
+
     def cancel(self, event: ScheduledEvent) -> None:
         """Cancel a previously scheduled event.
 
@@ -401,6 +447,63 @@ class Simulator:
                 return
         if until is not None and not self._stopped:
             self._now = max(self._now, until)
+
+    def run_window(self, end: float) -> int:
+        """Fire every pending event strictly before ``end``, then land on it.
+
+        This is the parallel engine's window step: :meth:`run`'s ``until`` is
+        *inclusive* (events at exactly ``until`` fire), whereas a lookahead
+        window owns ``[start, end)`` — events at exactly ``end`` belong to
+        the next window.  After the step the clock sits on the boundary, so
+        cross-shard deliveries scheduled *at* ``end`` remain legal.  Returns
+        the number of events fired.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run() call)")
+        if not math.isfinite(end) or end < self._now:
+            raise SimulationError(
+                f"window end must be finite and >= now (now={self._now}, got {end!r})"
+            )
+        self._running = True
+        self._stopped = False
+        fired = 0
+        queue = self._queue
+        pool = self._pool
+        trace = self._trace
+        try:
+            while not self._stopped:
+                nxt = queue.peek()
+                if nxt is None or nxt.time >= end:
+                    break
+                event = queue.pop()
+                if event is None or event.cancelled:  # pragma: no cover - peek guarantees live head
+                    continue
+                self._now = event.time
+                self._events_processed += 1
+                self._pending -= 1
+                fired += 1
+                if trace is not None:
+                    trace(self._now, getattr(event.callback, "__qualname__", repr(event.callback)))
+                event.callback(*event.args)
+                if len(pool) < _POOL_MAX and getrefcount(event) == 2:
+                    event.callback = None
+                    event.args = ()
+                    pool.append(event)
+        finally:
+            self._running = False
+        if not self._stopped:
+            self._now = max(self._now, end)
+        return fired
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or ``None`` when drained.
+
+        The parallel coordinator polls this at window barriers to skip empty
+        windows (jumping the global clock to the window holding the earliest
+        event anywhere in the federation).
+        """
+        event = self._queue.peek()
+        return event.time if event is not None else None
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""

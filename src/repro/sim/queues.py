@@ -80,7 +80,13 @@ AUTO_QUEUE = "auto"
 CALENDAR_CUTOVER_EVENTS = 1_000_000
 
 
-def estimate_standing_events(num_resources: int, total_jobs: int) -> int:
+def estimate_standing_events(
+    num_resources: int,
+    total_jobs: int,
+    *,
+    directory_shards: int = 1,
+    workers: int = 1,
+) -> int:
     """Expected peak pending-event population of a federation run.
 
     User populations schedule *every* submission up front, so the standing
@@ -89,8 +95,24 @@ def estimate_standing_events(num_resources: int, total_jobs: int) -> int:
     top.  The estimate only needs order-of-magnitude accuracy — it feeds the
     ``auto`` backend choice, where the two sides of the cutover differ by
     well under 2x in throughput near the crossing point.
+
+    ``directory_shards`` adds the small per-shard control-plane overhead of a
+    partitioned directory (scatter-gather sessions and batch flush timers).
+    ``workers`` divides the population: a parallel run gives each worker its
+    own engine over roughly ``1/workers`` of the clusters and their jobs, so
+    the cutover must be sized for one shard's standing population, not the
+    whole federation's (sizing for the whole federation made ``auto`` pick
+    the calendar queue for shards that individually sit far below the
+    cutover).
     """
-    return total_jobs + 8 * max(num_resources, 0)
+    workers = max(workers, 1)
+    shards = max(directory_shards, 1)
+    resources = max(num_resources, 0)
+    jobs = max(total_jobs, 0)
+    if workers > 1:
+        jobs = -(-jobs // workers)
+        resources = -(-resources // workers)
+    return jobs + 8 * resources + 4 * (shards - 1)
 
 
 def recommend_queue(expected_standing_events: int) -> str:
@@ -145,6 +167,38 @@ class EventQueue:
         """The next non-cancelled event without removing it (``None`` when
         empty).  May drop lingering cancelled entries along the way."""
         raise NotImplementedError
+
+    def push_many(self, events) -> None:
+        """Insert a batch of scheduled events.
+
+        Equivalent to ``for event in events: self.push(event)`` — the batch
+        entry point exists so backends can amortize per-event overhead
+        (a single heapify, one bucket-table rebuild) across window-boundary
+        bursts: parallel-shard message injection, user-population start-up
+        and fault-plan load spikes.  Pop order afterwards is identical to the
+        looped form (pinned by the hypothesis parity suite).
+        """
+        for event in events:
+            self.push(event)
+
+    def pop_window(self, horizon: float):
+        """Pop every event with ``time <= horizon``, in delivery order.
+
+        Returns the list of non-cancelled events (cancelled stragglers inside
+        the window are dropped, exactly as a pop loop would skip them); each
+        returned event has its ``_queued`` flag cleared.  The first event
+        strictly after ``horizon`` stays queued.  This is the batch drain the
+        parallel engine uses at lookahead-window boundaries.
+        """
+        events = []
+        append = events.append
+        while True:
+            head = self.peek()
+            if head is None or head.time > horizon:
+                return events
+            event = self.pop()
+            if event is not None and not event.cancelled:
+                append(event)
 
     def discard(self, event) -> bool:
         """Try to remove a cancelled event eagerly.
@@ -232,6 +286,33 @@ class HeapQueue(EventQueue):
 
     def push(self, event) -> None:
         heappush(self._heap, (event.time, event.priority, event.seq, event))
+
+    def push_many(self, events) -> None:
+        heap = self._heap
+        batch = [(event.time, event.priority, event.seq, event) for event in events]
+        if not batch:
+            return
+        # Below a quarter of the heap size, k sifts (O(k log n)) beat the
+        # O(n + k) rebuild; above it, extend + heapify wins.
+        if len(batch) * 4 < len(heap):
+            for entry in batch:
+                heappush(heap, entry)
+        else:
+            heap.extend(batch)
+            heapify(heap)
+
+    def pop_window(self, horizon: float):
+        heap = self._heap
+        events = []
+        append = events.append
+        while heap:
+            if heap[0][0] > horizon:
+                break
+            event = heappop(heap)[3]
+            event._queued = False
+            if not event.cancelled:
+                append(event)
+        return events
 
     def pop(self):
         heap = self._heap
@@ -360,6 +441,31 @@ class CalendarQueue(EventQueue):
         size = self._size = self._size + 1
         if size > 2 * self._nbuckets and self._nbuckets < _MAX_BUCKETS:
             self._resize(min(self._nbuckets * 8, _MAX_BUCKETS))
+
+    def push_many(self, events) -> None:
+        batch = list(events)
+        if len(batch) <= 8:
+            for event in batch:
+                self.push(event)
+            return
+        # Bulk path: append raw entries (skipping per-event insort and the
+        # incremental grow checks), then retune the whole table once.  The
+        # rebuild re-estimates the bucket width over old + new entries
+        # together and restores per-bucket sorted order, so a start-up burst
+        # of N events costs one O(n) pass instead of N insorts into buckets
+        # sized for the pre-burst population.
+        inv = self._inv_width
+        mask = self._mask
+        buckets = self._buckets
+        for event in batch:
+            time = event.time
+            day = int(time * inv)
+            buckets[day & mask].append((time, event.priority, event.seq, day, event))
+        self._size += len(batch)
+        target = self._nbuckets
+        while self._size > 2 * target and target < _MAX_BUCKETS:
+            target = min(target * 8, _MAX_BUCKETS)
+        self._resize(target)
 
     def pop(self):
         size = self._size

@@ -22,13 +22,13 @@ only; the simulation uses the two-day counts, as the paper does.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.cluster.specs import ResourceSpec
 from repro.economy.pricing import StaticPricingPolicy
 from repro.sim.rng import RandomStreams
 from repro.workload.generator import SyntheticTraceGenerator, WorkloadParameters, merge_workloads
-from repro.workload.job import Job
+from repro.workload.job import Job, advance_job_counter
 
 #: Two simulated days, the evaluation horizon of every experiment in the paper.
 TWO_DAYS = 2 * 86_400.0
@@ -178,6 +178,7 @@ def build_workload(
     streams: RandomStreams,
     resources: Optional[Sequence[ArchiveResource]] = None,
     horizon: float = TWO_DAYS,
+    only: Optional[Set[str]] = None,
 ) -> Dict[str, List[Job]]:
     """Generate the calibrated synthetic workload for each resource.
 
@@ -191,6 +192,13 @@ def build_workload(
         Archive resources to generate for (defaults to all eight).
     horizon:
         Length of the submission window (two days by default).
+    only:
+        When given, only the named resources' traces are generated; the
+        others map to empty lists.  A skipped resource still consumes its
+        job-id range (its job count is a static parameter, no sampling
+        needed), and the per-resource random streams are untouched — so the
+        generated jobs are bit-identical to a full build.  This is how a
+        parallel shard builds just its owned clusters' workloads.
 
     Returns
     -------
@@ -200,8 +208,13 @@ def build_workload(
     resources = list(ARCHIVE_RESOURCES) if resources is None else list(resources)
     workload: Dict[str, List[Job]] = {}
     for res in resources:
+        params = res.workload_parameters(horizon)
+        if only is not None and res.name not in only:
+            advance_job_counter(params.num_jobs)
+            workload[res.name] = []
+            continue
         rng = streams.get(f"workload/{res.name}")
-        generator = SyntheticTraceGenerator(res.workload_parameters(horizon), rng)
+        generator = SyntheticTraceGenerator(params, rng)
         workload[res.name] = generator.generate()
     return workload
 

@@ -251,3 +251,17 @@ def restore_job_counter(next_id: int) -> None:
     """Restore the global job-id counter to a snapshotted state."""
     global _job_counter
     _job_counter = itertools.count(next_id)
+
+
+def advance_job_counter(count: int) -> None:
+    """Skip ``count`` job ids, as if that many jobs had been constructed.
+
+    A parallel shard that skips generating a foreign cluster's workload must
+    still consume that cluster's id range, so the jobs it *does* generate
+    keep the exact ids they would have under the full replicated build.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    global _job_counter
+    value = next(_job_counter)
+    _job_counter = itertools.count(value + count)

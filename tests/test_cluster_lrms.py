@@ -224,6 +224,38 @@ class TestCompletionEstimates:
         assert lrms.can_meet_deadline(big) is False
 
 
+class TestQueueTailHint:
+    """The cheap work-conserving tail estimate the parallel engine snapshots."""
+
+    def test_idle_cluster_hints_zero(self, world):
+        _, _, lrms = world
+        assert lrms.queue_tail_hint() == 0.0
+
+    def test_hint_is_outstanding_node_seconds_over_capacity(self, world):
+        sim, spec, lrms = world
+        lrms.submit(make_job(procs=8, runtime=100.0, spec=spec))   # runs now
+        lrms.submit(make_job(procs=16, runtime=50.0, spec=spec))   # queued
+        # (8 * 100 + 16 * 50) / 16 processors = 100 seconds of backlog.
+        assert lrms.queue_tail_hint() == pytest.approx(100.0)
+
+    def test_hint_decays_as_running_work_drains(self, world):
+        sim, spec, lrms = world
+        lrms.submit(make_job(procs=16, runtime=100.0, spec=spec))
+        before = lrms.queue_tail_hint()
+        sim.run(until=40.0)
+        after = lrms.queue_tail_hint()
+        assert before == pytest.approx(100.0)
+        assert after == pytest.approx(60.0)
+
+    def test_hint_never_exceeds_the_exact_fcfs_wait(self, world):
+        """Work-conservation lower-bounds the fragmentation-aware estimate."""
+        sim, spec, lrms = world
+        lrms.submit(make_job(procs=10, runtime=100.0, spec=spec))
+        lrms.submit(make_job(procs=9, runtime=30.0, spec=spec))
+        lrms.submit(make_job(procs=16, runtime=20.0, spec=spec))
+        assert lrms.queue_tail_hint() <= lrms.expected_wait() + 1e-9
+
+
 class TestProperties:
     @given(
         jobs=st.lists(

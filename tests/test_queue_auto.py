@@ -52,6 +52,81 @@ class TestHeuristic:
         assert resolve_queue_name(AUTO_QUEUE, None) == DEFAULT_QUEUE
 
 
+class TestEstimateShardingInputs:
+    """Regression: the standing-event estimate must account for directory
+    shards and parallel workers — sizing ``auto`` for the whole federation
+    made it pick the calendar queue for worker shards that individually sit
+    far below the cutover."""
+
+    def test_defaults_reproduce_legacy_estimate(self):
+        assert estimate_standing_events(8, 1_000) == 1_000 + 8 * 8
+        assert estimate_standing_events(8, 1_000, directory_shards=1, workers=1) == (
+            estimate_standing_events(8, 1_000)
+        )
+
+    def test_directory_shards_add_control_plane_overhead(self):
+        base = estimate_standing_events(8, 1_000)
+        sharded = estimate_standing_events(8, 1_000, directory_shards=4)
+        assert sharded == base + 4 * 3
+
+    def test_workers_divide_the_population_with_ceiling(self):
+        assert estimate_standing_events(3, 10, workers=2) == 5 + 8 * 2
+
+    def test_per_worker_estimate_keeps_auto_on_heap(self):
+        whole = estimate_standing_events(1024, 2_000_000)
+        per_shard = estimate_standing_events(1024, 2_000_000, workers=8)
+        assert recommend_queue(whole) == "calendar"
+        assert per_shard < CALENDAR_CUTOVER_EVENTS
+        assert recommend_queue(per_shard) == "heap"
+
+    def test_federation_passes_shards_and_workers_to_estimate(self, monkeypatch):
+        import repro.core.federation as federation_module
+        from repro.scenario.registry import (
+            AGENT_REGISTRY,
+            PRICING_REGISTRY,
+            WORKLOAD_REGISTRY,
+        )
+        from repro.scenario.runner import resolve_resources
+        from repro.sim.rng import RandomStreams
+        from repro.workload.archive import build_federation_specs, thin_workload
+        from repro.workload.job import reset_job_counter
+
+        captured = {}
+        real = federation_module.estimate_standing_events
+
+        def spy(num_resources, total_jobs, **kwargs):
+            captured.update(kwargs)
+            return real(num_resources, total_jobs, **kwargs)
+
+        monkeypatch.setattr(federation_module, "estimate_standing_events", spy)
+        scenario = Scenario(
+            workload="synthetic",
+            horizon=4 * 3600.0,
+            thin=40,
+            seed=7,
+            engine=AUTO_QUEUE,
+            directory_shards=2,
+            parallel=3,
+        )
+        archive = resolve_resources(scenario, None)
+        specs = build_federation_specs(archive)
+        reset_job_counter()
+        workload = thin_workload(
+            WORKLOAD_REGISTRY.get(scenario.workload)(
+                scenario, RandomStreams(scenario.seed), archive
+            ),
+            scenario.thin,
+        )
+        PRICING_REGISTRY.get(scenario.pricing)(
+            scenario,
+            specs,
+            workload,
+            scenario.to_config(),
+            AGENT_REGISTRY.get(scenario.agent),
+        )
+        assert captured == {"directory_shards": 2, "workers": 3}
+
+
 class TestScenarioWiring:
     def test_scenario_accepts_auto(self):
         scenario = Scenario(engine=AUTO_QUEUE)

@@ -530,3 +530,105 @@ class TestOrderingOracle:
             if backend == "heap":
                 continue
             assert _replay(backend, ops) == reference
+
+
+#: Random (time, priority) schedules for the batch-kernel parity oracle.
+#: Same-timestamp collisions included on purpose — seq tie-breaking is where
+#: a batch insert could silently reorder.
+_batch_entries = st.lists(
+    st.one_of(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1_000.0),
+            st.integers(min_value=-2, max_value=2),
+        ),
+        st.tuples(st.just(50.0), st.just(0)),
+    ),
+    max_size=80,
+)
+
+
+class TestBatchKernelParity:
+    """Hypothesis oracle for the batch entry points: ``push_many`` and
+    ``pop_window`` must be observationally identical to the looped
+    ``push`` / peek-and-``pop`` forms on every backend — including under
+    cancellation and with a prefilled standing population (which steers the
+    heap between its sift and heapify paths and the calendar between its
+    per-event and bulk-rebuild paths)."""
+
+    @staticmethod
+    def _looped_pop_window(queue, horizon):
+        events = []
+        while True:
+            head = queue.peek()
+            if head is None or head.time > horizon:
+                return events
+            event = queue.pop()
+            if event is not None and not event.cancelled:
+                events.append(event)
+
+    @staticmethod
+    def _drain_keys(queue):
+        keys = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                return keys
+            if not event.cancelled:
+                keys.append((event.time, event.priority, event.seq))
+
+    @given(
+        prefill=_batch_entries,
+        batch=_batch_entries,
+        horizon=st.floats(min_value=0.0, max_value=1_000.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_forms_match_looped_forms(self, prefill, batch, horizon):
+        for backend in BACKENDS:
+            looped = create_queue(backend)
+            batched = create_queue(backend)
+            seq = 0
+            for time, priority in prefill:
+                looped.push(make_event(time, seq, priority))
+                batched.push(make_event(time, seq, priority))
+                seq += 1
+            loop_events = [
+                make_event(t, seq + i, p) for i, (t, p) in enumerate(batch)
+            ]
+            batch_events = [
+                make_event(t, seq + i, p) for i, (t, p) in enumerate(batch)
+            ]
+            for event in loop_events:
+                looped.push(event)
+            batched.push_many(batch_events)
+            # Cancel an arbitrary-but-identical subset in both queues: the
+            # window drain must skip corpses exactly like the pop loop.
+            for a, b in zip(loop_events[::3], batch_events[::3]):
+                a.cancelled = b.cancelled = True
+                looped.discard(a)
+                batched.discard(b)
+            key = lambda e: (e.time, e.priority, e.seq)
+            window_ref = [key(e) for e in self._looped_pop_window(looped, horizon)]
+            window_batch = [key(e) for e in batched.pop_window(horizon)]
+            assert window_batch == window_ref, f"{backend} pop_window diverged"
+            assert self._drain_keys(batched) == self._drain_keys(looped), (
+                f"{backend} post-window remainder diverged"
+            )
+
+    def test_pop_window_clears_queued_flag_and_leaves_later_events(self):
+        for backend in BACKENDS:
+            queue = create_queue(backend)
+            early = make_event(1.0, 0)
+            late = make_event(10.0, 1)
+            queue.push_many([early, late])
+            drained = queue.pop_window(5.0)
+            assert drained == [early]
+            assert not early._queued
+            assert late._queued
+            assert len(queue) == 1
+
+    def test_push_many_empty_batch_is_a_noop(self):
+        for backend in BACKENDS:
+            queue = create_queue(backend)
+            queue.push(make_event(1.0, 0))
+            queue.push_many([])
+            assert len(queue) == 1

@@ -173,6 +173,37 @@ class TestArchive:
             assert all(j.origin == res.name for j in jobs)
             assert all(j.num_processors <= res.processors for j in jobs)
 
+    def test_partial_build_is_bit_identical_for_generated_resources(self):
+        """``only=`` skips foreign generation but preserves ids and draws.
+
+        The parallel engine's shard build relies on this: a shard generating
+        just its owned clusters must produce jobs identical — ids included —
+        to the full replicated build.
+        """
+        from repro.workload.job import job_counter_state, reset_job_counter
+
+        keep = {"KTH SP2", "SDSC SP2"}
+        reset_job_counter()
+        full = build_workload(RandomStreams(7))
+        full_next_id = job_counter_state()
+        reset_job_counter()
+        partial = build_workload(RandomStreams(7), only=keep)
+        partial_next_id = job_counter_state()
+
+        assert partial_next_id == full_next_id  # skipped ranges consumed
+        for name, jobs in partial.items():
+            if name not in keep:
+                assert jobs == []
+                continue
+            assert [j.job_id for j in jobs] == [j.job_id for j in full[name]]
+            assert [
+                (j.origin, j.user_id, j.submit_time, j.num_processors, j.length_mi)
+                for j in jobs
+            ] == [
+                (j.origin, j.user_id, j.submit_time, j.num_processors, j.length_mi)
+                for j in full[name]
+            ]
+
     def test_build_workload_is_reproducible(self):
         a = build_workload(RandomStreams(3))["KTH SP2"]
         b = build_workload(RandomStreams(3))["KTH SP2"]
