@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""CI parallel-engine smoke: fallback parity at scale, backend parity in full.
+"""CI parallel-engine smoke: fallback parity, backend parity, chaos recovery.
 
-Three checks, all hard failures:
+Four checks, all hard failures:
 
 1. **Serial reference** — the Exp-5 shape at 256 clusters (4x the paper's
    largest federation), run serially, capturing its result fingerprint.
@@ -14,6 +14,10 @@ Three checks, all hard failures:
    on the in-process serial-parity oracle and on the multiprocess backend:
    the two fingerprints must match, and a second multiprocess run must
    reproduce the first (determinism).
+4. **Chaos recovery** — the same eligible run with one worker SIGKILLed at a
+   seeded random window: the supervisor must restart the fleet
+   (``restarts >= 1``) and the recovered run must reproduce the undisturbed
+   multiprocess fingerprint bit for bit.
 
 Usage::
 
@@ -25,6 +29,9 @@ from __future__ import annotations
 import argparse
 import contextlib
 import io
+import os
+import random
+import signal
 import sys
 import warnings
 
@@ -115,8 +122,46 @@ def main() -> int:
         print("[par-smoke] FAIL: repeated multiprocess run was not "
               "deterministic", file=sys.stderr)
         return 1
+
+    from repro.par.supervisor import SupervisionConfig
+
+    rng = random.Random(args.seed)
+    kill_window = rng.randrange(0, 8)
+    kill_shard = rng.randrange(0, args.workers)
+    print(f"[par-smoke] chaos: SIGKILL shard {kill_shard} at window "
+          f"{kill_window}, expecting supervised recovery", flush=True)
+
+    def chaos(phase, window, handles):
+        if phase == "window" and window == kill_window and not chaos.fired:
+            chaos.fired = True
+            os.kill(handles[kill_shard].pid, signal.SIGKILL)
+
+    chaos.fired = False
+    recovered, chaos_stats = try_parallel_run(
+        parallel_scenario,
+        workers=args.workers,
+        supervision=SupervisionConfig(chaos=chaos),
+    )
+    if recovered is None:
+        print(f"[par-smoke] FAIL: chaos run fell back to serial "
+              f"({chaos_stats.fallback_reason})", file=sys.stderr)
+        return 1
+    if not chaos.fired:
+        print("[par-smoke] FAIL: chaos hook never fired (no worker killed)",
+              file=sys.stderr)
+        return 1
+    print(f"[par-smoke] chaos: {chaos_stats.describe()}", flush=True)
+    if chaos_stats.restarts < 1:
+        print(f"[par-smoke] FAIL: supervisor reported {chaos_stats.restarts} "
+              "restarts after an injected kill (expected >= 1)",
+              file=sys.stderr)
+        return 1
+    if result_fingerprint(recovered) != digests["process"]:
+        print("[par-smoke] FAIL: recovered run diverged from the undisturbed "
+              "multiprocess fingerprint", file=sys.stderr)
+        return 1
     print("[par-smoke] OK: fallback parity at scale, oracle/process parity, "
-          "deterministic reruns")
+          "deterministic reruns, chaos recovery byte-identical")
     return 0
 
 

@@ -232,6 +232,32 @@ def _scenario_from_args(args, oft_pct: Optional[float] = None) -> Scenario:
     )
 
 
+def _supervision_from_args(args):
+    """Build the parallel-supervision config from ``run``'s ``--par-*`` flags.
+
+    Returns ``None`` (= supervised with defaults) when no flag was given, so
+    the plain-serial path never imports the parallel stack.
+    """
+    if args.par_unsupervised:
+        from repro.par.supervisor import SupervisionConfig
+
+        return SupervisionConfig(enabled=False)
+    overrides = {}
+    if args.par_checkpoint is not None:
+        overrides["checkpoint_dir"] = args.par_checkpoint
+    if args.par_checkpoint_every is not None:
+        overrides["checkpoint_every_windows"] = args.par_checkpoint_every
+    if args.par_restarts is not None:
+        overrides["max_restarts"] = args.par_restarts
+    if args.par_timeout is not None:
+        overrides["step_timeout_s"] = args.par_timeout
+    if not overrides:
+        return None
+    from repro.par.supervisor import SupervisionConfig
+
+    return SupervisionConfig(**overrides)
+
+
 def cmd_run(args) -> str:
     if args.resume:
         if args.checkpoint:
@@ -272,6 +298,7 @@ def cmd_run(args) -> str:
             checkpoint_dir=args.checkpoint,
             checkpoint_every=args.checkpoint_interval,
             workers=args.workers,
+            supervision=_supervision_from_args(args),
         )
     table = render_table(
         _PROCESSING_HEADERS,
@@ -663,6 +690,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="resume a checkpointed run from the latest snapshot in DIR and "
         "continue to completion (byte-identical to an uninterrupted run)",
+    )
+    run_parser.add_argument(
+        "--par-checkpoint",
+        default=None,
+        metavar="DIR",
+        help="with --workers: write fleet checkpoints (per-shard snapshots + "
+        "coordinator state) into DIR at window boundaries, so a worker crash "
+        "restarts from the last checkpoint instead of from scratch",
+    )
+    run_parser.add_argument(
+        "--par-checkpoint-every",
+        type=int,
+        default=None,
+        metavar="WINDOWS",
+        help="barrier windows between fleet checkpoints (default 64)",
+    )
+    run_parser.add_argument(
+        "--par-restarts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker-failure restart attempts before degrading to a serial "
+        "re-run (default 2)",
+    )
+    run_parser.add_argument(
+        "--par-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-window worker reply deadline, scaled by window size "
+        "(default 120; exceeding it counts as a hang and triggers a restart)",
+    )
+    run_parser.add_argument(
+        "--par-unsupervised",
+        action="store_true",
+        help="disable the parallel-engine supervisor (no deadlines, no "
+        "restarts — the raw PR-8 behaviour, for debugging)",
     )
 
     profile_parser = subparsers.add_parser(

@@ -15,16 +15,29 @@ Scenarios the sharded model cannot represent faithfully (uniform zero-latency
 topologies, fault plans, dynamic pricing, …) fall back to the plain serial
 engine with a clear diagnostic; see :func:`repro.par.partition.plan_partition`
 for the exact eligibility gate.
+
+The multiprocess backend runs **supervised** by default: every pipe receive
+carries a deadline and liveness check, worker death or hang raises a typed
+:class:`~repro.par.engine.WorkerFailure`, and the supervisor restarts the
+fleet from the last window-boundary consistent cut (or degrades to a serial
+re-run) without changing a single output byte — see
+:mod:`repro.par.supervisor`.
 """
 
+from repro.par.engine import WorkerFailure
 from repro.par.partition import PartitionPlan, plan_partition
-from repro.par.runner import merge_results, try_parallel_run
+from repro.par.runner import merge_results, parallel_plan, try_parallel_run
 from repro.par.stats import ParallelStats
+from repro.par.supervisor import ParallelRunFailed, SupervisionConfig
 
 __all__ = [
+    "ParallelRunFailed",
     "ParallelStats",
     "PartitionPlan",
+    "SupervisionConfig",
+    "WorkerFailure",
     "merge_results",
+    "parallel_plan",
     "plan_partition",
     "try_parallel_run",
 ]

@@ -19,14 +19,44 @@ from repro.core.policies import SharingMode
 from repro.economy.bank import GridBank
 from repro.net.transport import TransportStats
 from repro.par.engine import ParallelSimulator
-from repro.par.partition import plan_partition
+from repro.par.partition import PartitionPlan, plan_partition
 from repro.par.shard import ShardHarvest
 from repro.par.stats import ParallelStats
+from repro.par.supervisor import ParallelRunFailed, SupervisionConfig
 from repro.scenario.scenario import Scenario
 from repro.workload.archive import build_federation_specs
 from repro.workload.job import JobStatus
 
-__all__ = ["merge_results", "try_parallel_run"]
+__all__ = ["merge_results", "parallel_plan", "try_parallel_run"]
+
+
+def parallel_plan(
+    scenario: Scenario,
+    workers: int,
+    *,
+    explicit_inputs: bool = False,
+    explicit_fault_plan: bool = False,
+    validate: bool = False,
+    checkpointing: bool = False,
+) -> PartitionPlan:
+    """Evaluate the parallel-eligibility gate without running anything.
+
+    Callers that must choose *before* dispatch — e.g. the daemon deciding
+    whether a submission goes through serial checkpointing or supervised
+    parallel execution — probe the gate with this.
+    """
+    from repro.scenario.runner import resolve_resources
+
+    specs = build_federation_specs(resolve_resources(scenario, None))
+    return plan_partition(
+        scenario,
+        workers,
+        [spec.name for spec in specs],
+        explicit_inputs=explicit_inputs,
+        explicit_fault_plan=explicit_fault_plan,
+        validate=validate,
+        checkpointing=checkpointing,
+    )
 
 
 def merge_results(
@@ -138,19 +168,25 @@ def try_parallel_run(
     explicit_fault_plan: bool = False,
     validate: bool = False,
     checkpointing: bool = False,
+    supervision: Optional[SupervisionConfig] = None,
 ) -> Tuple[Optional[FederationResult], ParallelStats]:
     """Run a scenario on the parallel engine if it qualifies.
 
     Returns ``(result, stats)`` on a sharded run, or ``(None, stats)`` with
-    ``stats.fallback_reason`` set when the scenario must run serially.
-    """
-    from repro.scenario.runner import resolve_resources
+    ``stats.fallback_reason`` set when the scenario must run serially —
+    either because the gate declined it, or because a supervised run
+    exhausted its restart budget and degraded (``stats.degraded`` set, with
+    the last :class:`~repro.par.engine.WorkerFailure` in
+    ``stats.failure_detail``).  With ``supervision.degrade`` disabled,
+    restart exhaustion raises :class:`ParallelRunFailed` instead.
 
-    specs = build_federation_specs(resolve_resources(scenario, None))
-    plan = plan_partition(
+    ``supervision=None`` runs the multiprocess backend under the default
+    :class:`SupervisionConfig` — supervision is on unless explicitly
+    disabled (``SupervisionConfig(enabled=False)``).
+    """
+    plan = parallel_plan(
         scenario,
         workers,
-        [spec.name for spec in specs],
         explicit_inputs=explicit_inputs,
         explicit_fault_plan=explicit_fault_plan,
         validate=validate,
@@ -160,6 +196,8 @@ def try_parallel_run(
         return None, ParallelStats(
             requested_workers=workers, fallback_reason=plan.fallback_reason
         )
+    if supervision is None:
+        supervision = SupervisionConfig()
     simulator = ParallelSimulator(
         scenario,
         workers,
@@ -167,6 +205,18 @@ def try_parallel_run(
         lookahead=plan.lookahead_s,
         backend=backend,
         profile_dir=profile_dir,
+        supervision=supervision,
     )
-    harvests, stats = simulator.run()
+    try:
+        harvests, stats = simulator.run()
+    except ParallelRunFailed as failed:
+        if not supervision.degrade:
+            raise
+        stats = failed.stats
+        stats.degraded = True
+        stats.fallback_reason = (
+            f"supervised parallel run exhausted {failed.attempts} restart "
+            f"attempt(s); degraded to serial ({failed.failure.summary()})"
+        )
+        return None, stats
     return merge_results(scenario, harvests, stats), stats

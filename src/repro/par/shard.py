@@ -25,6 +25,7 @@ injects at the next window boundary.
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from dataclasses import dataclass, field
@@ -239,9 +240,10 @@ class ShardFederation(Federation):
                 transport=self.transport,
             )
             gfa.shard = self
-            gfa.lrms.on_state_change = (
-                lambda name=spec.name: self._dirty_loads.add(name)
-            )
+            # A partial over a bound method (not a lambda): the hook must
+            # survive pickling, because the supervisor snapshots live
+            # ShardFederations for window-boundary restarts.
+            gfa.lrms.on_state_change = functools.partial(self._mark_dirty, spec.name)
             self.gfas[spec.name] = gfa
             self.populations[spec.name] = UserPopulation(
                 self.sim, self.registry, spec.name, self.workload[spec.name]
@@ -264,6 +266,10 @@ class ShardFederation(Federation):
     def owns(self, name: str) -> bool:
         """True iff this shard owns the named cluster."""
         return self._assignment[name] == self.shard_index
+
+    def _mark_dirty(self, name: str) -> None:
+        """LRMS state-change hook: republish this cluster's load snapshot."""
+        self._dirty_loads.add(name)
 
     def queue_remote_job(self, dest_name: str, job: Job, origin_gfa: str) -> None:
         """Enqueue a migrated job for delivery to the owning shard."""

@@ -41,6 +41,17 @@ class ParallelStats:
     worker_events: List[int] = field(default_factory=list)
     #: Why the dispatch fell back to the serial engine (``None`` = it ran).
     fallback_reason: Optional[str] = None
+    #: Whether the run executed under the supervision layer.
+    supervised: bool = False
+    #: Fleet restarts performed by the supervisor (window-boundary recovery).
+    restarts: int = 0
+    #: Typed worker failures observed (crashes, hangs, reported errors).
+    worker_failures: int = 0
+    #: True when the restart budget was exhausted and the run completed on
+    #: the serial engine instead (the final rung of the ladder).
+    degraded: bool = False
+    #: One-line summary of the last :class:`WorkerFailure`, if any.
+    failure_detail: Optional[str] = None
 
     @property
     def ran_parallel(self) -> bool:
@@ -56,14 +67,48 @@ class ParallelStats:
 
     def describe(self) -> str:
         """One-line summary used by the CLI's ``par:`` line."""
+        if self.degraded:
+            return (
+                f"degraded to serial (requested {self.requested_workers} workers; "
+                f"{self.worker_failures} worker failure(s), "
+                f"{self.restarts} restart(s); last: {self.failure_detail})"
+            )
         if not self.ran_parallel:
             return (
                 f"serial fallback (requested {self.requested_workers} workers: "
                 f"{self.fallback_reason})"
             )
         shares = "/".join(f"{share:.0%}" for share in self.worker_shares())
-        return (
+        line = (
             f"{self.workers} workers ({self.backend}), window {self.window_s:.3g}s, "
             f"{self.windows} windows, {self.cross_messages} cross-shard msgs "
             f"({self.cross_volume_mb:.2f} MB), worker load {shares}"
         )
+        if self.supervised:
+            line += ", supervised"
+            if self.restarts or self.worker_failures:
+                line += (
+                    f" ({self.worker_failures} worker failure(s), "
+                    f"{self.restarts} restart(s))"
+                )
+        return line
+
+    def to_json(self) -> dict:
+        """JSON-safe view for daemon job records and ``/health``."""
+        return {
+            "requested_workers": self.requested_workers,
+            "workers": self.workers,
+            "backend": self.backend,
+            "window_s": self.window_s,
+            "windows": self.windows,
+            "cross_messages": self.cross_messages,
+            "cross_volume_mb": self.cross_volume_mb,
+            "load_updates": self.load_updates,
+            "worker_events": list(self.worker_events),
+            "fallback_reason": self.fallback_reason,
+            "supervised": self.supervised,
+            "restarts": self.restarts,
+            "worker_failures": self.worker_failures,
+            "degraded": self.degraded,
+            "failure_detail": self.failure_detail,
+        }

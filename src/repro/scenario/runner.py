@@ -150,6 +150,7 @@ def run_scenario(
     checkpoint_every: Optional[float] = None,
     on_progress=None,
     workers: Optional[int] = None,
+    supervision=None,
 ) -> FederationResult:
     """Build and run the federation a scenario describes.
 
@@ -191,6 +192,11 @@ def run_scenario(
         zero-latency topologies, fault plans, dynamic pricing, …) warn and
         fall back to the serial path, attaching the fallback diagnostic to
         ``result.parallel``.
+    supervision:
+        A :class:`~repro.par.supervisor.SupervisionConfig` for the parallel
+        dispatch (``None`` = supervised with defaults).  A supervised run
+        that exhausts its restart budget degrades to the serial path here,
+        annotated on ``result.parallel`` (``degraded=True``).
     """
     if (specs is None) != (workload is None):
         raise ValueError("pass both specs and workload, or neither")
@@ -212,17 +218,26 @@ def run_scenario(
                 or checkpoint_every is not None
                 or on_progress is not None
             ),
+            supervision=supervision,
         )
         if result is not None:
             return result
         import warnings
 
-        warnings.warn(
-            f"parallel engine unavailable ({par_stats.fallback_reason}); "
-            "running serially",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+        if par_stats.degraded:
+            warnings.warn(
+                f"supervised parallel run degraded to serial "
+                f"({par_stats.failure_detail}); re-running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            warnings.warn(
+                f"parallel engine unavailable ({par_stats.fallback_reason}); "
+                "running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         fallback_stats = par_stats
     agent_class = AGENT_REGISTRY.get(scenario.agent)
     federation_factory = PRICING_REGISTRY.get(scenario.pricing)

@@ -277,6 +277,54 @@ def _update_record(state: DaemonState, sid: str, **changes) -> Dict[str, object]
     return record
 
 
+def _execute_parallel(
+    state: DaemonState,
+    sid: str,
+    scenario: Scenario,
+    should_stop: Optional[Callable[[], bool]],
+):
+    """Run an eligible parallel submission under supervision.
+
+    Returns the merged :class:`~repro.core.federation.FederationResult`.
+    Raises :class:`CancelledRun` on cancellation/shutdown (checked at every
+    window boundary) and :class:`~repro.par.supervisor.ParallelRunFailed`
+    when the restart budget is exhausted — the caller turns the latter into
+    a ``failed`` record carrying the :class:`~repro.par.engine.WorkerFailure`
+    detail, never a hung worker thread.
+
+    Fleet checkpoints land under ``checkpoints/<sid>/par``: a daemon killed
+    mid-run re-adopts the submission and the supervisor resumes from the
+    last window-boundary cut instead of replaying from scratch.
+    """
+    from repro.par.runner import try_parallel_run
+    from repro.par.supervisor import SupervisionConfig
+
+    def on_boundary(window: int) -> None:
+        if state.cancel_requested(sid):
+            raise CancelledRun(f"submission {sid} cancelled")
+        if should_stop is not None and should_stop():
+            raise CancelledRun(f"daemon shutting down; {sid} requeued")
+
+    supervision = SupervisionConfig(
+        degrade=False,  # exhaustion must fail the record, not go serial
+        checkpoint_dir=os.path.join(state.checkpoint_dir(sid), "par"),
+        on_boundary=on_boundary,
+    )
+    from repro.par.supervisor import ParallelRunFailed
+
+    try:
+        result, par_stats = try_parallel_run(
+            scenario, workers=scenario.parallel, supervision=supervision
+        )
+    except ParallelRunFailed as failed:
+        # The stats (restarts, worker_failures, failure_detail) outlive the
+        # failed run: the record explains *why* before the caller marks it.
+        _update_record(state, sid, parallel=failed.stats.to_json())
+        raise
+    _update_record(state, sid, parallel=par_stats.to_json())
+    return result
+
+
 def execute_submission(
     state_dir: str,
     sid: str,
@@ -291,6 +339,12 @@ def execute_submission(
     (daemon restarted mid-run), checkpoints periodically while running, and
     honours cooperative cancellation (marker file) and daemon shutdown (the
     run is requeued so the next daemon start resumes it).
+
+    A submission whose scenario requests parallel execution
+    (``parallel >= 2``) and passes the eligibility gate runs on the
+    supervised parallel engine instead of the serial checkpointed path;
+    its record gains a ``parallel`` stats block, and a run that exhausts
+    its restart budget lands as ``failed`` with the worker-failure detail.
     """
     state = DaemonState(state_dir)
     record = state.load_record(sid)
@@ -331,8 +385,15 @@ def execute_submission(
 
     _update_record(state, sid, status="running")
     checkpoint_dir = state.checkpoint_dir(sid)
+    parallel_eligible = False
+    if scenario.parallel >= 2 and not os.path.exists(snapshot_path(checkpoint_dir)):
+        from repro.par.runner import parallel_plan
+
+        parallel_eligible = parallel_plan(scenario, scenario.parallel).eligible
     try:
-        if os.path.exists(snapshot_path(checkpoint_dir)):
+        if parallel_eligible:
+            result = _execute_parallel(state, sid, scenario, should_stop)
+        elif os.path.exists(snapshot_path(checkpoint_dir)):
             result, _ = resume_run(
                 checkpoint_dir,
                 expected_scenario=scenario,
@@ -544,6 +605,7 @@ class GridfedDaemon:
                 "cached": False,
                 "fingerprint": None,
                 "error": None,
+                "parallel": None,
                 "checkpoint_interval": checkpoint_interval,
             }
             try:
@@ -584,9 +646,17 @@ class GridfedDaemon:
 
     def health(self) -> Dict[str, object]:
         counts: Dict[str, int] = {}
+        par_runs = par_restarts = par_failures = par_failed = 0
         for record in self.state.list_records():
             status = str(record.get("status"))
             counts[status] = counts.get(status, 0) + 1
+            par = record.get("parallel")
+            if isinstance(par, dict):
+                par_runs += 1
+                par_restarts += int(par.get("restarts") or 0)
+                par_failures += int(par.get("worker_failures") or 0)
+                if status == "failed":
+                    par_failed += 1
         pending = counts.get("queued", 0) + counts.get("running", 0)
         # Graceful degradation reporting: "degraded" from 80% capacity —
         # load balancers can drain early instead of slamming into 429s.
@@ -602,6 +672,14 @@ class GridfedDaemon:
             "jobs": counts,
             "pending": pending,
             "capacity": self.max_pending,
+            # Supervision counters: why parallel submissions got slower (or
+            # failed) — restarts and worker faults across all records.
+            "parallel": {
+                "runs": par_runs,
+                "restarts": par_restarts,
+                "worker_failures": par_failures,
+                "failed": par_failed,
+            },
         }
 
 

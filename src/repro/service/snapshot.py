@@ -44,6 +44,7 @@ from repro.sim.events import event_counter_state, restore_event_counter
 from repro.workload.job import JobStatus, job_counter_state, restore_job_counter
 
 __all__ = [
+    "PAR_CHECKPOINT_VERSION",
     "SNAPSHOT_FORMAT_VERSION",
     "SnapshotError",
     "SnapshotMismatchError",
@@ -51,6 +52,10 @@ __all__ = [
     "write_snapshot",
     "read_header",
     "load_snapshot",
+    "write_shard_snapshot",
+    "load_shard_snapshot",
+    "write_par_state",
+    "load_par_state",
 ]
 
 #: Bump when the snapshot layout or the pickled object graph changes shape
@@ -264,3 +269,158 @@ def load_snapshot(
         restore_job_counter(payload["job_counter"])
         restore_event_counter(payload["event_counter"])
     return header, federation, scenario
+
+
+# --------------------------------------------------------------------------- #
+# Parallel-engine checkpoints (shard snapshots + coordinator state)
+# --------------------------------------------------------------------------- #
+#: Version of the parallel checkpoint layout (the coordinator-state payload
+#: plus the per-shard snapshot fleet the supervisor restores a run from).
+#: Bumped independently of :data:`SNAPSHOT_FORMAT_VERSION` — the shard files
+#: themselves ride the ordinary snapshot format.
+PAR_CHECKPOINT_VERSION = 1
+
+_PAR_MAGIC = b"gridfed-par-state\n"
+
+
+def write_shard_snapshot(
+    path: str | os.PathLike, federation, scenario: Scenario
+) -> SnapshotHeader:
+    """Snapshot one live :class:`~repro.par.shard.ShardFederation`.
+
+    A shard federation is an ordinary :class:`Federation` (proxies, outbox
+    and cross-shard bookkeeping included in its pickle graph), so the capture
+    is the standard :func:`write_snapshot` — called *inside the worker
+    process* so the shard's own global job/event id counters land in the
+    payload.  The supervisor restores the file with :func:`load_shard_snapshot`
+    in a fresh worker after killing a failed fleet.
+    """
+    return write_snapshot(path, federation, scenario)
+
+
+def load_shard_snapshot(
+    path: str | os.PathLike,
+    *,
+    expected_scenario: Optional[Scenario] = None,
+):
+    """Restore a shard federation snapshot inside a fresh worker process.
+
+    Restores the worker-process global job/event counters along with the
+    federation (each worker owns its own counter state), and verifies the
+    scenario hash before unpickling — a restarted fleet must never mix
+    snapshots from different runs.
+    """
+    header, federation, scenario = load_snapshot(
+        path, expected_scenario=expected_scenario, restore_counters=True
+    )
+    return header, federation, scenario
+
+
+def write_par_state(
+    path: str | os.PathLike,
+    *,
+    scenario: Scenario,
+    workers: int,
+    window: float,
+    payload: dict,
+) -> None:
+    """Atomically write the coordinator half of a parallel checkpoint.
+
+    ``payload`` is the coordinator's boundary state: pending cross-shard
+    traffic, pending load snapshots, per-shard next-event times, the next
+    window start and the stats counters accumulated so far.  Everything is
+    pickled behind a JSON guard header (checkpoint version, scenario hash,
+    worker count, window), so :func:`load_par_state` can refuse a mismatched
+    restore before any payload code runs.
+    """
+    path = os.fspath(path)
+    header = {
+        "par_checkpoint_version": PAR_CHECKPOINT_VERSION,
+        "scenario_hash": scenario.scenario_hash(),
+        "workers": int(workers),
+        "window": float(window),
+    }
+    buffer = io.BytesIO()
+    buffer.write(_PAR_MAGIC)
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    buffer.write(len(header_bytes).to_bytes(4, "big"))
+    buffer.write(header_bytes)
+    pickle.dump(payload, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".par-state-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(buffer.getvalue())
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def load_par_state(
+    path: str | os.PathLike,
+    *,
+    expected_scenario: Optional[Scenario] = None,
+    expected_workers: Optional[int] = None,
+) -> dict:
+    """Load and verify the coordinator half of a parallel checkpoint.
+
+    Raises :class:`SnapshotMismatchError` on a version, scenario-hash or
+    worker-count mismatch and :class:`SnapshotError` on corruption — the
+    supervisor treats either as "no usable checkpoint" and restarts the
+    fleet from scratch instead.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as handle:
+            magic = handle.read(len(_PAR_MAGIC))
+            if magic != _PAR_MAGIC:
+                raise SnapshotError(
+                    f"{path!r} is not a parallel checkpoint state file (bad magic)"
+                )
+            raw_length = handle.read(4)
+            if len(raw_length) != 4:
+                raise SnapshotError("truncated parallel checkpoint (header length)")
+            length = int.from_bytes(raw_length, "big")
+            header_bytes = handle.read(length)
+            if len(header_bytes) != length:
+                raise SnapshotError("truncated parallel checkpoint (incomplete header)")
+            try:
+                header = json.loads(header_bytes.decode("utf-8"))
+            except ValueError as exc:
+                raise SnapshotError(f"corrupt parallel checkpoint header: {exc}") from None
+            if header.get("par_checkpoint_version") != PAR_CHECKPOINT_VERSION:
+                raise SnapshotMismatchError(
+                    f"parallel checkpoint version {header.get('par_checkpoint_version')} "
+                    f"is not supported (this build reads {PAR_CHECKPOINT_VERSION})"
+                )
+            if (
+                expected_scenario is not None
+                and expected_scenario.scenario_hash() != header.get("scenario_hash")
+            ):
+                raise SnapshotMismatchError(
+                    "parallel checkpoint belongs to a different scenario "
+                    f"({header.get('scenario_hash', '?')[:12]}…); restart from scratch"
+                )
+            if expected_workers is not None and header.get("workers") != expected_workers:
+                raise SnapshotMismatchError(
+                    f"parallel checkpoint was taken with {header.get('workers')} "
+                    f"workers but the restart requested {expected_workers}; the "
+                    "shard partition is a function of the worker count"
+                )
+            try:
+                payload = pickle.load(handle)
+            except Exception as exc:
+                raise SnapshotError(
+                    f"corrupt parallel checkpoint payload in {path!r}: {exc}"
+                ) from None
+    except OSError as exc:
+        raise SnapshotError(f"cannot read parallel checkpoint {path!r}: {exc}") from None
+    payload["header"] = header
+    return payload

@@ -1,0 +1,471 @@
+"""Supervised parallel execution under real process faults.
+
+Three layers of guarantees are pinned here:
+
+* **Typed failures** — without supervision semantics in play, a killed,
+  stopped or misbehaving worker surfaces as a :class:`WorkerFailure` naming
+  the shard, last command and exit signal (never a bare ``EOFError`` or an
+  infinite block), and teardown of a wedged worker always terminates.
+* **Kill parity** — the non-negotiable supervision contract: a run that
+  survives injected ``SIGKILL``s (mid-window and during harvest) and
+  ``SIGSTOP`` hangs produces a fingerprint byte-identical to the
+  undisturbed run, at 2, 4 and 8 workers, with and without fleet
+  checkpoints.
+* **Bounded degradation** — a persistent fault exhausts the restart budget
+  and degrades to a serial re-run that matches the plain serial result
+  (CLI semantics), or raises :class:`ParallelRunFailed` (daemon semantics:
+  a ``failed`` job record carrying the worker-failure detail).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.par.engine import ParallelSimulator, WorkerFailure
+from repro.par.runner import try_parallel_run
+from repro.par.supervisor import ParallelRunFailed, SupervisionConfig
+from repro.scenario import Scenario, result_fingerprint, run_scenario
+from repro.service.snapshot import (
+    SnapshotMismatchError,
+    load_par_state,
+    write_par_state,
+)
+
+#: Eligible shape: active economy federation on the two-tier WAN, thinned
+#: hard so every fault test stays in seconds (same shape the hypothesis
+#: parity sweep uses).
+SCENARIO = Scenario(
+    mode="economy",
+    oft_fraction=0.3,
+    workload="synthetic",
+    horizon=6 * 3600.0,
+    thin=60,
+    seed=42,
+    transport="two-tier-wan",
+)
+
+
+@pytest.fixture(scope="module")
+def undisturbed():
+    """Fingerprint of the fault-free parallel run, per worker count."""
+    cache = {}
+
+    def fingerprint(workers: int) -> str:
+        if workers not in cache:
+            result, stats = try_parallel_run(SCENARIO, workers=workers)
+            assert stats.ran_parallel
+            cache[workers] = result_fingerprint(result)
+        return cache[workers]
+
+    return fingerprint
+
+
+def kill_once(victim: int, at_window: int, sig=signal.SIGKILL, phase="window"):
+    """A chaos hook that signals one worker once, at one point of the run."""
+
+    def chaos(chaos_phase, window, handles):
+        if chaos.fired or chaos_phase != phase:
+            return
+        if phase == "window" and window != at_window:
+            return
+        chaos.fired = True
+        os.kill(handles[victim % len(handles)].pid, sig)
+
+    chaos.fired = False
+    return chaos
+
+
+class TestTypedFailures:
+    """Satellite: every receive path raises WorkerFailure, never EOFError."""
+
+    def _simulator(self, supervision=None):
+        return ParallelSimulator(SCENARIO, 2, 60.0, supervision=supervision)
+
+    def _started_handles(self, simulator):
+        handles = simulator._make_handles()
+        for handle in handles:
+            handle.start(timeout=120.0)
+        return handles
+
+    def test_sigkill_surfaces_as_typed_crash(self):
+        simulator = self._simulator()
+        handles = self._started_handles(simulator)
+        try:
+            os.kill(handles[1].pid, signal.SIGKILL)
+            handles[1]._process.join(timeout=10.0)
+            # Depending on pipe-buffer timing either the send or the receive
+            # detects the death — both must be the typed failure.
+            with pytest.raises(WorkerFailure) as excinfo:
+                handles[1].step_begin(60.0, [], [])
+                handles[1].step_finish(timeout=30.0)
+            failure = excinfo.value
+            assert failure.kind == "crashed"
+            assert failure.shard_index == 1
+            assert failure.command == "step"
+            assert failure.signal_name == "SIGKILL"
+            assert "SIGKILL" in str(failure)
+        finally:
+            for handle in handles:
+                handle.kill()
+
+    def test_sigstop_past_deadline_surfaces_as_hang(self):
+        simulator = self._simulator()
+        handles = self._started_handles(simulator)
+        try:
+            os.kill(handles[0].pid, signal.SIGSTOP)
+            handles[0].step_begin(60.0, [], [])
+            began = time.monotonic()
+            with pytest.raises(WorkerFailure) as excinfo:
+                handles[0].step_finish(timeout=1.0)
+            assert time.monotonic() - began < 10.0
+            failure = excinfo.value
+            assert failure.kind == "hung"
+            assert failure.shard_index == 0
+            assert failure.timeout_s == 1.0
+            # Still alive: that is precisely what distinguishes a hang.
+            assert handles[0].is_alive()
+        finally:
+            for handle in handles:
+                handle.kill()
+
+    def test_worker_reported_error_carries_traceback(self):
+        simulator = self._simulator()
+        handles = self._started_handles(simulator)
+        try:
+            # An undecodable injection makes the shard federation itself
+            # raise: the worker answers ("error", traceback), not death.
+            handles[0].step_begin(60.0, ["not a CrossShardMessage"], [])
+            with pytest.raises(WorkerFailure) as excinfo:
+                handles[0].step_finish(timeout=60.0)
+            assert excinfo.value.kind in ("reported", "crashed")
+            if excinfo.value.kind == "reported":
+                assert "Traceback" in excinfo.value.detail
+        finally:
+            for handle in handles:
+                handle.kill()
+
+    def test_protocol_violation_is_reported_not_eof(self):
+        simulator = self._simulator()
+        handles = self._started_handles(simulator)
+        try:
+            handles[0]._send(("no-such-command",))
+            with pytest.raises(WorkerFailure) as excinfo:
+                handles[0]._recv(timeout=30.0)
+            assert excinfo.value.kind == "reported"
+            assert "unknown command" in excinfo.value.detail
+        finally:
+            for handle in handles:
+                handle.kill()
+
+    def test_close_escalation_reaps_a_stopped_worker(self):
+        """Satellite: teardown of a SIGSTOPped (unkillable-by-SIGTERM)
+        worker escalates to SIGKILL and never hangs."""
+        simulator = self._simulator()
+        handles = self._started_handles(simulator)
+        os.kill(handles[0].pid, signal.SIGSTOP)
+        began = time.monotonic()
+        for handle in handles:
+            handle.close(grace=0.5)
+        assert time.monotonic() - began < 30.0
+        assert not handles[0].is_alive()
+        assert not handles[1].is_alive()
+
+
+class TestKillParity:
+    """The supervision contract: injected faults never change a byte."""
+
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_sigkill_mid_window_recovers_byte_identical(self, workers, undisturbed):
+        chaos = kill_once(victim=workers - 1, at_window=2)
+        result, stats = try_parallel_run(
+            SCENARIO, workers=workers, supervision=SupervisionConfig(chaos=chaos)
+        )
+        assert chaos.fired
+        assert stats.restarts >= 1
+        assert stats.worker_failures >= 1
+        assert stats.supervised
+        assert result_fingerprint(result) == undisturbed(workers)
+
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_sigstop_hang_recovers_byte_identical(self, workers, undisturbed):
+        chaos = kill_once(victim=0, at_window=3, sig=signal.SIGSTOP)
+        result, stats = try_parallel_run(
+            SCENARIO,
+            workers=workers,
+            supervision=SupervisionConfig(chaos=chaos, step_timeout_s=2.0),
+        )
+        assert chaos.fired
+        assert stats.restarts >= 1
+        assert "deadline" in stats.failure_detail
+        assert result_fingerprint(result) == undisturbed(workers)
+
+    def test_sigkill_during_harvest_recovers_byte_identical(self, undisturbed):
+        chaos = kill_once(victim=1, at_window=0, phase="harvest")
+        result, stats = try_parallel_run(
+            SCENARIO, workers=2, supervision=SupervisionConfig(chaos=chaos)
+        )
+        assert chaos.fired
+        assert stats.restarts >= 1
+        assert result_fingerprint(result) == undisturbed(2)
+
+    def test_two_kills_recover_byte_identical(self, undisturbed):
+        def chaos(phase, window, handles):
+            if phase == "window" and window in (1, 5) and chaos.fired < 2:
+                chaos.fired += 1
+                os.kill(handles[window % len(handles)].pid, signal.SIGKILL)
+
+        chaos.fired = 0
+        result, stats = try_parallel_run(
+            SCENARIO, workers=2, supervision=SupervisionConfig(chaos=chaos)
+        )
+        assert stats.restarts == 2
+        assert stats.worker_failures == 2
+        assert result_fingerprint(result) == undisturbed(2)
+
+    def test_checkpointed_restart_resumes_from_boundary(self, tmp_path, undisturbed):
+        """With fleet checkpoints on, a late kill restarts from the last
+        checkpoint (not from scratch) and still matches byte-for-byte."""
+        chaos = kill_once(victim=0, at_window=40)
+        result, stats = try_parallel_run(
+            SCENARIO,
+            workers=2,
+            supervision=SupervisionConfig(
+                chaos=chaos,
+                checkpoint_dir=str(tmp_path),
+                checkpoint_every_windows=8,
+            ),
+        )
+        assert chaos.fired
+        assert stats.restarts == 1
+        assert result_fingerprint(result) == undisturbed(2)
+        # The commit point and the current generation's shard files remain.
+        names = sorted(os.listdir(tmp_path))
+        assert "par-state.bin" in names
+        assert sum(name.endswith(".snap") for name in names) == 2
+
+    def test_checkpoint_resume_skips_completed_windows(self, tmp_path, undisturbed):
+        """A fresh supervised run over a directory holding a mid-run
+        checkpoint adopts it: same bytes, fewer windows executed — the
+        daemon's crash-recovery path."""
+        first = kill_once(victim=0, at_window=40)
+        windows_seen = []
+
+        def counting(phase, window, handles):
+            if phase == "window":
+                windows_seen.append(window)
+            first(phase, window, handles)
+
+        config = SupervisionConfig(
+            chaos=counting, checkpoint_dir=str(tmp_path), checkpoint_every_windows=8
+        )
+        result, stats = try_parallel_run(SCENARIO, workers=2, supervision=config)
+        assert result_fingerprint(result) == undisturbed(2)
+        # The restarted attempt began at the window-40 checkpoint, not 0.
+        # SIGKILL is asynchronous: the victim may flush its window-40 reply
+        # before dying, surfacing the failure one window later, so locate the
+        # restart as the one point where the window sequence stops advancing.
+        restart_points = [
+            after
+            for before, after in zip(windows_seen, windows_seen[1:])
+            if after <= before
+        ]
+        assert restart_points == [40]
+
+    def test_supervised_matches_unsupervised_without_faults(self, undisturbed):
+        result, stats = try_parallel_run(
+            SCENARIO, workers=2, supervision=SupervisionConfig(enabled=False)
+        )
+        assert not stats.supervised
+        assert result_fingerprint(result) == undisturbed(2)
+
+
+class TestDegradation:
+    """The final rung: bounded attempts, then serial — or a typed raise."""
+
+    @staticmethod
+    def persistent_fault():
+        def chaos(phase, window, handles):
+            if phase == "window" and window == 1:
+                os.kill(handles[0].pid, signal.SIGKILL)
+
+        return chaos
+
+    def test_exhausted_restarts_degrade_to_matching_serial(self):
+        serial = result_fingerprint(run_scenario(SCENARIO))
+        config = SupervisionConfig(chaos=self.persistent_fault(), max_restarts=1)
+        with pytest.warns(RuntimeWarning, match="degraded to serial"):
+            result = run_scenario(SCENARIO, workers=2, supervision=config)
+        stats = result.parallel
+        assert stats is not None
+        assert stats.degraded
+        assert not stats.ran_parallel
+        assert stats.restarts == 1
+        assert stats.worker_failures == 2
+        assert "SIGKILL" in stats.failure_detail
+        assert "degraded" in stats.describe()
+        assert result_fingerprint(result) == serial
+
+    def test_degrade_disabled_raises_parallel_run_failed(self):
+        config = SupervisionConfig(
+            chaos=self.persistent_fault(), max_restarts=1, degrade=False
+        )
+        with pytest.raises(ParallelRunFailed) as excinfo:
+            try_parallel_run(SCENARIO, workers=2, supervision=config)
+        failed = excinfo.value
+        assert isinstance(failed.failure, WorkerFailure)
+        assert failed.failure.signal_name == "SIGKILL"
+        assert failed.attempts == 1
+        assert failed.stats.worker_failures == 2
+
+    def test_zero_restarts_fail_immediately(self):
+        config = SupervisionConfig(
+            chaos=kill_once(victim=0, at_window=1), max_restarts=0, degrade=False
+        )
+        with pytest.raises(ParallelRunFailed) as excinfo:
+            try_parallel_run(SCENARIO, workers=2, supervision=config)
+        assert excinfo.value.stats.restarts == 0
+
+
+class TestParStateGuards:
+    """The coordinator-state file refuses mismatched or corrupt content."""
+
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "par-state.bin")
+        payload = {"start": 120.0, "shard_files": ["a", "b"]}
+        write_par_state(path, scenario=SCENARIO, workers=2, window=60.0, payload=payload)
+        loaded = load_par_state(path, expected_scenario=SCENARIO, expected_workers=2)
+        assert loaded["start"] == 120.0
+        assert loaded["shard_files"] == ["a", "b"]
+        assert loaded["header"]["workers"] == 2
+
+    def test_worker_count_mismatch_refused(self, tmp_path):
+        path = str(tmp_path / "par-state.bin")
+        write_par_state(path, scenario=SCENARIO, workers=2, window=60.0, payload={})
+        with pytest.raises(SnapshotMismatchError):
+            load_par_state(path, expected_scenario=SCENARIO, expected_workers=4)
+
+    def test_scenario_mismatch_refused(self, tmp_path):
+        path = str(tmp_path / "par-state.bin")
+        write_par_state(path, scenario=SCENARIO, workers=2, window=60.0, payload={})
+        with pytest.raises(SnapshotMismatchError):
+            load_par_state(
+                path,
+                expected_scenario=SCENARIO.replace(seed=7),
+                expected_workers=2,
+            )
+
+    def test_mismatched_checkpoint_restarts_from_scratch(self, tmp_path, undisturbed):
+        """A stale/foreign state file is ignored, not fatal: the supervisor
+        falls back to a scratch restart and parity still holds."""
+        (tmp_path / "par-state.bin").write_bytes(b"garbage, not a checkpoint")
+        chaos = kill_once(victim=0, at_window=2)
+        result, stats = try_parallel_run(
+            SCENARIO,
+            workers=2,
+            supervision=SupervisionConfig(chaos=chaos, checkpoint_dir=str(tmp_path)),
+        )
+        assert stats.restarts == 1
+        assert result_fingerprint(result) == undisturbed(2)
+
+
+class TestDaemonSupervision:
+    """Daemon follow-through: supervised parallel submissions, and restart
+    exhaustion landing as a ``failed`` record — never a hung worker thread."""
+
+    FIELDS = {
+        "mode": "economy",
+        "oft_fraction": 0.3,
+        "workload": "synthetic",
+        "horizon": 6 * 3600.0,
+        "thin": 60,
+        "seed": 42,
+        "transport": "two-tier-wan",
+        "parallel": 2,
+    }
+
+    @pytest.fixture
+    def daemon(self, tmp_path):
+        from repro.service import GridfedDaemon
+
+        d = GridfedDaemon(tmp_path / "state", port=0, workers=1)
+        d.start()
+        yield d
+        d.stop()
+
+    @pytest.fixture
+    def client(self, daemon):
+        from repro.service import DaemonClient
+
+        return DaemonClient(daemon.address, timeout=10.0)
+
+    def test_parallel_submission_completes_supervised(self, client, undisturbed):
+        sid = client.submit(dict(self.FIELDS))
+        record = client.wait(sid, timeout=180.0)
+        assert record["status"] == "completed", record.get("error")
+        par = record["parallel"]
+        assert par["supervised"] is True
+        assert par["workers"] == 2
+        assert par["restarts"] == 0
+        assert record["fingerprint"] == undisturbed(2)
+        health = client.health()
+        assert health["parallel"]["runs"] == 1
+        assert health["parallel"]["failed"] == 0
+
+    def test_exhausted_restarts_land_as_failed_record(
+        self, client, daemon, monkeypatch
+    ):
+        import dataclasses
+
+        import repro.par.runner as par_runner
+
+        real = par_runner.try_parallel_run
+
+        def chaos(phase, window, handles):
+            if phase == "window" and window == 1:
+                os.kill(handles[0].pid, signal.SIGKILL)
+
+        def chaotic(scenario, **kwargs):
+            kwargs["supervision"] = dataclasses.replace(
+                kwargs["supervision"], chaos=chaos, max_restarts=0
+            )
+            return real(scenario, **kwargs)
+
+        monkeypatch.setattr(par_runner, "try_parallel_run", chaotic)
+        sid = client.submit(dict(self.FIELDS))
+        record = client.wait(sid, timeout=180.0)
+        assert record["status"] == "failed"
+        assert "SIGKILL" in record["error"]
+        assert "shard 0" in record["error"]
+        par = record["parallel"]
+        assert par["worker_failures"] == 1
+        assert par["degraded"] is False
+        # DaemonClient.wait surfaced the terminal record (it returned); the
+        # result endpoint reports the failure rather than hanging too.
+        from repro.service import DaemonError
+
+        with pytest.raises(DaemonError) as excinfo:
+            client.result(sid)
+        assert "failed" in str(excinfo.value)
+        health = client.health()
+        assert health["parallel"]["failed"] == 1
+        assert health["parallel"]["worker_failures"] == 1
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"step_timeout_s": 0.0},
+            {"start_timeout_s": -1.0},
+            {"max_restarts": -1},
+            {"backoff_jitter": 1.5},
+            {"checkpoint_every_windows": 0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisionConfig(**kwargs)
